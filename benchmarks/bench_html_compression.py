@@ -1,0 +1,46 @@
+"""Section "Compression Issues": deflate on the Microscape HTML.
+
+The ~3x factor (42K -> 11K), the resulting ~19% payload cut, and the
+tag-case effect ("compression is significantly worse ... if mixed case
+HTML tags are used").
+"""
+
+import pytest
+
+from repro.content import build_microscape_site, change_tag_case
+from repro.http import compression_ratio, deflate_decode, deflate_encode
+
+
+@pytest.fixture(scope="module")
+def site():
+    return build_microscape_site()
+
+
+def test_html_compression(benchmark, site):
+    html = site.html.body
+    compressed = benchmark(deflate_encode, html)
+
+    # ~3x on the HTML page (paper: 42K -> 11K, ratio ~0.27).
+    ratio = len(compressed) / len(html)
+    assert 0.18 <= ratio <= 0.35
+    assert deflate_decode(compressed) == html
+
+    # ~19% of the total page payload disappears.
+    total = site.html.size + site.total_image_bytes
+    payload_saving = (len(html) - len(compressed)) / total
+    assert 0.14 <= payload_saving <= 0.25
+
+    # Tag-case experiment: mixed-case tags compress worse.
+    text = html.decode("latin-1")
+    ratio_lower = compression_ratio(
+        change_tag_case(text, "lower").encode("latin-1"))
+    ratio_mixed = compression_ratio(
+        change_tag_case(text, "mixed").encode("latin-1"))
+    assert ratio_mixed > ratio_lower
+
+    print()
+    print(f"deflate: {len(html)} -> {len(compressed)} B "
+          f"(ratio {ratio:.2f}; paper ~0.27)")
+    print(f"payload saving: {payload_saving:.1%} (paper ~19%)")
+    print(f"tag case: lower {ratio_lower:.3f} vs mixed "
+          f"{ratio_mixed:.3f} (paper .27 vs .35)")

@@ -1,0 +1,54 @@
+"""Section 8.2.1: deflate vs modem (V.42bis) compression over 28.8k.
+
+A single GET of the Microscape HTML, uncompressed versus
+``Content-Encoding: deflate``, through the V.42bis modem pair.  The
+paper's point: ~68% of the packets and ~64% of the time saved — deflate
+at the content layer beats the modem's own compression.
+"""
+
+import pytest
+
+from repro.analysis.paperdata import MODEM_TABLE
+from repro.client.robot import ClientConfig
+from repro.core import FIRST_TIME, HTTP11_PERSISTENT, run_experiment
+from repro.server import APACHE, JIGSAW
+from repro.simnet import PPP
+
+PROFILES = {"Jigsaw": JIGSAW, "Apache": APACHE}
+
+
+def fetch_html_only(profile, compressed, seed=0):
+    config = ClientConfig(accept_deflate=compressed, follow_images=False)
+    return run_experiment(HTTP11_PERSISTENT, FIRST_TIME, PPP, profile,
+                          seed=seed, client_config=config, verify=False)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return {
+        (name, variant): fetch_html_only(profile, variant == "compressed")
+        for name, profile in PROFILES.items()
+        for variant in ("uncompressed", "compressed")
+    }
+
+
+def test_modem_compression(benchmark, cells):
+    result = benchmark(lambda: fetch_html_only(APACHE, True))
+    assert result.fetch.complete
+
+    print()
+    print(f"{'server':7s} {'variant':13s} {'Pa':>5s} {'Pa(p)':>5s} "
+          f"{'Sec':>6s} {'Sec(p)':>6s}")
+    for (name, variant), cell in cells.items():
+        paper_pa, paper_sec = MODEM_TABLE[(name, variant)]
+        print(f"{name:7s} {variant:13s} {cell.packets:5.0f} "
+              f"{paper_pa:5.0f} {cell.elapsed:6.2f} {paper_sec:6.2f}")
+
+    for name in PROFILES:
+        plain = cells[(name, "uncompressed")]
+        deflated = cells[(name, "compressed")]
+        packet_saving = 1 - deflated.packets / plain.packets
+        time_saving = 1 - deflated.elapsed / plain.elapsed
+        # Paper: 68.7% packets, 64.4-64.5% elapsed time.
+        assert 0.55 <= packet_saving <= 0.78
+        assert 0.50 <= time_saving <= 0.75

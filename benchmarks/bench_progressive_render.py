@@ -1,0 +1,54 @@
+"""Future work: progressive rendering — PNG's time-to-render edge.
+
+"PNG also provides time to render benefits relative to GIF."  This
+bench quantifies the claim on the Microscape hero image: the byte
+fraction needed before 90 % of the display area can be painted (at any
+resolution), for baseline and interlaced GIF and PNG.
+"""
+
+import pytest
+
+from repro.content import build_microscape_site, encode_gif, encode_png
+from repro.content.progressive import (bytes_for_coverage,
+                                       gif_area_coverage,
+                                       png_area_coverage)
+
+
+@pytest.fixture(scope="module")
+def hero():
+    site = build_microscape_site()
+    return next(o for o in site.image_objects
+                if o.url.endswith("hero.gif")).image
+
+
+@pytest.fixture(scope="module")
+def variants(hero):
+    return {
+        "GIF baseline": (encode_gif(hero), gif_area_coverage),
+        "GIF interlaced": (encode_gif(hero, interlace=True),
+                           gif_area_coverage),
+        "PNG baseline": (encode_png(hero), png_area_coverage),
+        "PNG Adam7": (encode_png(hero, interlace=True),
+                      png_area_coverage),
+    }
+
+
+def test_progressive_render(benchmark, variants):
+    gif_i_wire, fn = variants["GIF interlaced"]
+    result = benchmark(bytes_for_coverage, gif_i_wire, fn, 0.9)
+    assert 0 < result <= 1
+
+    needed = {name: bytes_for_coverage(wire, fn, 0.9)
+              for name, (wire, fn) in variants.items()}
+
+    # Baselines need most of the file; interlacing front-loads it.
+    assert needed["GIF baseline"] > 0.8
+    assert needed["PNG baseline"] > 0.8
+    assert needed["GIF interlaced"] < 0.35
+    # And PNG's Adam7 beats GIF's 4-pass scheme (the paper's claim).
+    assert needed["PNG Adam7"] < needed["GIF interlaced"]
+
+    print()
+    print(f"{'format':16s} {'size (B)':>9s} {'bytes for 90% area':>20s}")
+    for name, (wire, _fn) in variants.items():
+        print(f"{name:16s} {len(wire):9d} {needed[name]:19.0%}")

@@ -1,0 +1,63 @@
+"""Future work, measured: rendering timelines and poor man's multiplexing.
+
+The paper stops at a belief — "with the range request techniques
+outlined in this paper, we believe HTTP/1.1 can perform well over a
+single connection" — because its browser "has not yet been optimized to
+use HTTP/1.1 features".  This bench runs the experiment the authors
+could not: time-to-layout (all image dimensions known) and
+time-to-full-render on the 28.8k PPP link for four strategies,
+including ranged metadata prefixes over one pipelined connection.
+"""
+
+import pytest
+
+from repro.client.robot import ClientConfig
+from repro.core.render import measure_render
+from repro.http import HTTP10, HTTP11
+from repro.server import APACHE
+from repro.simnet import PPP
+
+
+STRATEGIES = {
+    "HTTP/1.0 x4 connections": ClientConfig(
+        http_version=HTTP10, max_connections=4),
+    "HTTP/1.1 persistent": ClientConfig(http_version=HTTP11),
+    "HTTP/1.1 pipelined": ClientConfig(http_version=HTTP11,
+                                       pipeline=True),
+    "pipelined + range prefixes": ClientConfig(
+        http_version=HTTP11, pipeline=True, range_prefix_bytes=256),
+}
+
+
+@pytest.fixture(scope="module")
+def timelines():
+    return {name: measure_render(config, PPP, APACHE)
+            for name, config in STRATEGIES.items()}
+
+
+def test_render_multiplexing(benchmark, timelines):
+    result = benchmark(lambda: measure_render(
+        STRATEGIES["pipelined + range prefixes"], PPP, APACHE, seed=1))
+    assert result.verified
+
+    ranged = timelines["pipelined + range prefixes"]
+    pipelined = timelines["HTTP/1.1 pipelined"]
+    http10 = timelines["HTTP/1.0 x4 connections"]
+
+    # All strategies transfer correct content.
+    assert all(m.verified for m in timelines.values())
+    # Range prefixes pull layout far forward on a single connection...
+    assert ranged.layout_complete < pipelined.layout_complete * 0.6
+    # ...beating even four parallel HTTP/1.0 connections...
+    assert ranged.layout_complete < http10.layout_complete
+    # ...at a small full-render premium over plain pipelining.
+    assert ranged.full_render < pipelined.full_render * 1.15
+    # And plain pipelining still wins full render outright.
+    assert pipelined.full_render < http10.full_render
+
+    print()
+    print(f"{'strategy':28s} {'layout':>8s} {'first img':>10s} "
+          f"{'full render':>12s}")
+    for name, m in timelines.items():
+        print(f"{name:28s} {m.layout_complete:8.1f} "
+              f"{m.first_image_complete:10.1f} {m.full_render:12.1f}")

@@ -1,0 +1,61 @@
+"""Table 10: Netscape Navigator and Internet Explorer vs Jigsaw, PPP.
+
+The product-browser comparison, including IE 4.0b1's revalidation
+blow-up against Jigsaw (no Last-Modified => HEAD checks => keep-alive
+dropped per image).
+"""
+
+import pytest
+
+from repro.analysis.paperdata import BROWSER_TABLES
+from repro.core import (FIRST_TIME, HTTP10_MODE, REVALIDATE,
+                        run_experiment)
+from repro.core.browsers import BROWSERS, IE_40B1, NETSCAPE_40B5
+from repro.server import JIGSAW
+from repro.simnet import PPP
+
+SERVER_NAME = "Jigsaw"
+PROFILE = JIGSAW
+
+
+@pytest.fixture(scope="module")
+def cells():
+    out = {}
+    for browser in BROWSERS:
+        for scenario in (FIRST_TIME, REVALIDATE):
+            out[(browser.name, scenario)] = run_experiment(
+                HTTP10_MODE, scenario, PPP, PROFILE, seed=0,
+                client_config=browser.client_config())
+    return out
+
+
+def test_table10(benchmark, cells):
+    result = benchmark(lambda: run_experiment(
+        HTTP10_MODE, REVALIDATE, PPP, PROFILE, seed=0,
+        client_config=NETSCAPE_40B5.client_config()))
+    assert result.fetch.complete
+
+    nn_reval = cells[("Netscape Navigator", REVALIDATE)]
+    ie_reval = cells[("Internet Explorer", REVALIDATE)]
+    # IE's revalidation against Jigsaw costs several times Navigator's.
+    assert ie_reval.packets > 2.0 * nn_reval.packets
+    assert ie_reval.payload_bytes > 2.0 * nn_reval.payload_bytes
+    # First-time retrieval is comparable between the browsers.
+    nn_first = cells[("Netscape Navigator", FIRST_TIME)]
+    ie_first = cells[("Internet Explorer", FIRST_TIME)]
+    assert 0.8 <= ie_first.packets / nn_first.packets <= 1.3
+
+    print()
+    _print_rows(cells, SERVER_NAME)
+
+
+def _print_rows(cells, server_name):
+    paper = BROWSER_TABLES[server_name]
+    print(f"{'browser':20s} {'scenario':11s} {'Pa':>6s} {'Pa(p)':>6s} "
+          f"{'Bytes':>8s} {'B(p)':>8s} {'Sec':>6s} {'Sec(p)':>6s}")
+    for key, cell in cells.items():
+        expected = paper[key]
+        print(f"{key[0]:20s} {key[1]:11s} {cell.packets:6.0f} "
+              f"{expected.packets:6.1f} {cell.payload_bytes:8.0f} "
+              f"{expected.payload_bytes:8.0f} {cell.elapsed:6.1f} "
+              f"{expected.seconds:6.1f}")

@@ -1,0 +1,64 @@
+"""Ablation: the HTTP/1.1 two-connection allowance (paper §Connection
+Management).
+
+"The HTTP/1.1 proposed standard specification does specify at most two
+connections to be established between a client/server pair. ...
+Dividing the mean length of packet trains down by a factor of two
+diminish the benefits to the Internet (and possibly to the end user due
+to slow start) substantially."  This bench runs pipelined first
+retrieval over one vs. two vs. four connections and measures the
+packet-train effect.
+"""
+
+import pytest
+
+from repro.client.robot import ClientConfig
+from repro.core import FIRST_TIME, HTTP11_PIPELINED, run_experiment
+from repro.http import HTTP11
+from repro.server import APACHE
+from repro.simnet import WAN
+
+
+def run_with_connections(count, seed=0):
+    config = ClientConfig(http_version=HTTP11, pipeline=True,
+                          max_connections=count)
+    return run_experiment(HTTP11_PIPELINED, FIRST_TIME, WAN, APACHE,
+                          seed=seed, client_config=config)
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return {count: run_with_connections(count) for count in (1, 2, 4)}
+
+
+def test_two_connections(benchmark, cells):
+    result = benchmark(lambda: run_with_connections(2, seed=1))
+    assert result.fetch.complete
+
+    one, two, four = cells[1], cells[2], cells[4]
+    # Every variant retrieves the full site correctly (verified in the
+    # runner) using exactly its connection budget.
+    assert one.connections_used == 1
+    assert two.connections_used == 2
+    assert four.connections_used == 4
+
+    # The paper's concern: packet trains shorten roughly with the
+    # connection count.
+    assert two.mean_packets_per_connection < \
+        one.mean_packets_per_connection * 0.7
+    assert four.mean_packets_per_connection < \
+        one.mean_packets_per_connection * 0.45
+    # Total packets grow only modestly (extra handshakes/closes).
+    assert two.packets < one.packets * 1.2
+    # Two connections still beat HTTP/1.0's packet economy by far.
+    from repro.core import HTTP10_MODE
+    http10 = run_experiment(HTTP10_MODE, FIRST_TIME, WAN, APACHE, seed=0)
+    assert two.packets < http10.packets / 2
+
+    print()
+    print(f"{'connections':>11s} {'Pa':>5s} {'train len':>10s} "
+          f"{'Sec':>6s}")
+    for count, cell in cells.items():
+        print(f"{count:11d} {cell.packets:5d} "
+              f"{cell.mean_packets_per_connection:10.1f} "
+              f"{cell.elapsed:6.2f}")

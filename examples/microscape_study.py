@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""The full protocol study: regenerate Tables 3-11 and the modem test.
+
+This is the paper's complete measurement campaign — every server
+(Jigsaw, Apache), every network (LAN, WAN, PPP), every client mode,
+both scenarios, the product browsers, and the §8.2.1 modem comparison —
+each cell averaged over seeded runs, printed next to the published
+numbers.
+
+Run:  python examples/microscape_study.py [--runs N]
+(N defaults to 3 to keep the demo quick; the paper used 5.)
+"""
+
+import argparse
+
+from repro.analysis import (reproduce_browser_table,
+                            reproduce_modem_experiment,
+                            reproduce_protocol_table, reproduce_table3)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=3,
+                        help="seeded runs per cell (paper used 5)")
+    args = parser.parse_args()
+
+    _, text = reproduce_table3(runs=args.runs)
+    print(text)
+    print()
+    for server in ("Jigsaw", "Apache"):
+        for environment in ("LAN", "WAN", "PPP"):
+            _, text = reproduce_protocol_table(server, environment,
+                                               runs=args.runs)
+            print(text)
+            print()
+    for server in ("Jigsaw", "Apache"):
+        _, text = reproduce_browser_table(server, runs=args.runs)
+        print(text)
+        print()
+    _, text = reproduce_modem_experiment(runs=args.runs)
+    print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""'Poor man's multiplexing': cache validation + ranged requests.
+
+The paper argues HTTP/1.1 clients can get good interactive behaviour on
+a *single* connection by combining validators with byte ranges: on a
+revisit, send ``If-None-Match`` + ``If-Range`` + ``Range: bytes=0-N``
+for each embedded image — unchanged objects cost a 304; changed objects
+return just their first bytes (enough metadata for page layout), and
+the client schedules the rest afterwards.
+
+This demo runs the idiom against the real-socket server: it revisits
+Microscape after one image "changed" on the server, fetching image
+*prefixes* first and the changed image's tail second.
+
+Run:  python examples/range_multiplexing.py
+"""
+
+from repro.content import build_microscape_site
+from repro.realnet import RealHttpClient, RealHttpServer
+from repro.server import APACHE, Resource, ResourceStore
+
+
+PREFIX = 256        # bytes of image metadata to fetch eagerly
+
+
+def main() -> None:
+    site = build_microscape_site()
+    store = ResourceStore.from_site(site)
+    urls = [u for u in site.all_urls() if u.endswith(".gif")]
+
+    with RealHttpServer(store, APACHE) as server:
+        host, port = server.address
+        with RealHttpClient(host, port) as client:
+            # First visit fills the cache.
+            client.pipeline(site.all_urls())
+            print(f"first visit: cached {len(site.all_urls())} objects")
+
+            # The site changes one image (same URL, new bytes).
+            changed_url = "/gifs/hero.gif"
+            new_body = site.objects[changed_url].body[::-1]
+            store.add(Resource.create(changed_url, "image/gif", new_body))
+            print(f"server-side change: {changed_url} "
+                  f"({len(new_body)} bytes)")
+            print()
+
+            # Revisit: one pipelined batch of validation+range requests.
+            # If-None-Match answers "did it change?"; the bare Range
+            # header bounds the transfer of a *changed* entity to its
+            # first bytes.  (If-Range would instead request the full
+            # new entity on change — that is the resume-a-download
+            # idiom, not this one.)
+            requests = []
+            for url in urls:
+                entry = client.cache.get(url)
+                requests.append(client.build_request(
+                    url,
+                    headers=[("If-None-Match", entry.etag),
+                             ("Range", f"bytes=0-{PREFIX - 1}")]))
+            responses = client.pipeline_requests(requests)
+
+            fresh = [u for u, r in zip(urls, responses)
+                     if r.status == 304]
+            partial = [(u, r) for u, r in zip(urls, responses)
+                       if r.status == 206]
+            print(f"revalidated {len(fresh)} unchanged images with 304s")
+            for url, response in partial:
+                total = int(response.headers.get(
+                    "Content-Range").rsplit("/", 1)[1])
+                print(f"changed: {url} -> got first "
+                      f"{len(response.body)} of {total} bytes "
+                      f"(layout can start)")
+                # Fetch the tail with a second ranged request.
+                tail = client.get(url, headers=[
+                    ("Range", f"bytes={PREFIX}-")])
+                assert tail.status == 206
+                body = response.body + tail.body
+                assert body == new_body
+                print(f"         tail of {len(tail.body)} bytes "
+                      f"completes the image")
+
+            print()
+            print("One connection, no stalls on large objects, and the")
+            print("unchanged 41 images cost ~100 bytes each.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Look at the wire the way the paper's authors did: dumps and xplot.
+
+Runs one pipelined first-time retrieval on the simulated WAN, prints
+the opening of the client-side packet trace (their tcpdump), renders an
+ASCII time-sequence diagram (their xplot), and writes a real
+xplot-format file.  The slow-start "staircase" in the diagram is the
+paper's whole argument in one picture: a new connection spends its
+first round trips ramping up.
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro.analysis.xplot import ascii_time_sequence, write_xplot
+from repro.client.robot import ClientConfig, Robot
+from repro.content import build_microscape_site
+from repro.server import APACHE, ResourceStore, SimHttpServer
+from repro.simnet import SERVER_HOST, TwoHostNetwork, WAN
+
+
+def main() -> None:
+    site = build_microscape_site()
+    net = TwoHostNetwork(WAN)
+    SimHttpServer(net.sim, net.server, ResourceStore.from_site(site),
+                  APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80,
+                  ClientConfig(pipeline=True))
+    result = robot.fetch(site.html_url)
+    net.run()
+
+    summary = net.trace.summary()
+    print(f"pipelined first-time retrieval over the WAN: "
+          f"{summary.packets} packets, {summary.payload_bytes} bytes, "
+          f"{result.elapsed:.2f} s")
+    print()
+    print("client-side trace (first 18 packets):")
+    print(net.trace.format_trace(limit=18))
+    print("  ...")
+    print()
+    print(ascii_time_sequence(net.trace, SERVER_HOST, width=72,
+                              height=18, until=1.2))
+    print()
+    print("Each column of '*' is a flight of segments; the widening")
+    print("flights are slow start opening the congestion window.")
+
+    path = "trace_wan_pipelined.xpl"
+    write_xplot(net.trace, path, SERVER_HOST,
+                title="Microscape over WAN, HTTP/1.1 pipelined")
+    print(f"\nwrote {path} (xplot format, as used in the paper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: run every experiment, record vs paper.
+
+Run:  python scripts/generate_experiments.py [--runs N] [--out PATH]
+"""
+
+import argparse
+import io
+import time
+
+from repro.analysis import generate_experiments_report
+
+PREAMBLE = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure of *Network Performance Effects of HTTP/1.1,
+CSS1, and PNG* (SIGCOMM '97), reproduced by this library and printed
+next to the published numbers.  Regenerate with:
+
+    python scripts/generate_experiments.py
+
+Columns: `Pa` packets (both directions), `Bytes` application payload,
+`Sec` elapsed time, `%ov` TCP/IP header overhead share; `(p)`/`(paper)`
+columns are the published values; ratio columns are measured/paper.
+Protocol cells are means of {runs} seeded simulation runs (the paper
+averaged 5 real runs); browser tables use {browser_runs} runs (the
+paper used 3).
+
+## Reading guide
+
+The reproduction targets *shape*, not absolute equality: who wins, by
+roughly what factor, where the crossovers sit.  The substrate is a
+deterministic TCP simulator calibrated with a handful of constants
+(server CPU costs, WAN bottleneck rate, modem efficiency — see
+DESIGN.md); everything else is emergent from real TCP mechanics, real
+HTTP bytes, and real image codecs.
+
+Headline checks (all enforced by `benchmarks/`):
+
+* pipelined HTTP/1.1 vs HTTP/1.0-with-4-connections: ≥2× fewer packets
+  on first retrieval, ~10× on revalidation, lower elapsed time in every
+  environment;
+* HTTP/1.1 *without* pipelining: far fewer packets than HTTP/1.0 but
+  **higher elapsed time** (Tables 3, 6, 7);
+* deflate: ~3× on the HTML, ~16 % of packets and ~12 % of time on first
+  retrieval, ~68 %/~64 % on the HTML-only modem test;
+* GIF→PNG ≈ 10 % smaller overall with the sub-200 B images *growing*;
+  animations→MNG ≈ 35 % smaller;
+* Figure 1: ≥4× byte reduction from HTML+CSS, one request saved.
+
+A final section quantifies the paper's *future work*: the compact HTTP
+wire representation (its "factor of five or ten" envelope), the server
+CPU savings it said "could now be quantified", rendering timelines with
+range-request multiplexing, progressive-format byte fractions, and the
+two-connection packet-train effect.
+
+## Known deviations
+
+* **HTTP/1.0 first-retrieval byte counts** run ~12 % below the paper's
+  (≈188 KB vs ≈216 KB).  The paper's old libwww 4.1D client evidently
+  sent even fatter requests than our reconstruction; the orderings and
+  every packet count are unaffected.
+* **Jigsaw revalidation bytes** are ~10–15 % low for the same reason
+  (exact 1997 Jigsaw response headers are not recoverable).
+* **Mixed-case deflate penalty** reproduces in direction (mixed > lower)
+  but smaller than the paper's 0.35-vs-0.27 because the synthetic page
+  is less tag-dense than the real Netscape/Microsoft merge.
+* **Table 3 / Table 10 elapsed times** depend on unpublished details
+  (libwww's disk-cache latency, browser scheduling); we model the
+  paper's stated mechanisms and match within ~2× where the paper's own
+  explanation is qualitative.
+* The robot's mean request size is ~120–150 B against the paper's
+  ~190 B: our synthetic URLs are shorter than real 1997 paths.
+
+---
+
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument("--browser-runs", type=int, default=3)
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args()
+
+    start = time.time()
+    body = generate_experiments_report(runs=args.runs,
+                                       browser_runs=args.browser_runs)
+    elapsed = time.time() - start
+
+    out = io.StringIO()
+    out.write(PREAMBLE.format(runs=args.runs,
+                              browser_runs=args.browser_runs))
+    out.write("```\n")
+    out.write(body)
+    out.write("\n```\n\n")
+    out.write(f"*Generated in {elapsed:.0f} s of wall time "
+              f"(simulated hours of 1997 network traffic).*\n")
+    with open(args.out, "w") as handle:
+        handle.write(out.getvalue())
+    print(f"wrote {args.out} ({elapsed:.0f} s)")
+
+
+if __name__ == "__main__":
+    main()

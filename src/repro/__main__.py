@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table N``
+    Reproduce one of the paper's tables (3–11) and print it next to the
+    published numbers.
+``run``
+    Run a single experiment cell with explicit mode / scenario /
+    environment / server.
+``modem``
+    The §8.2.1 modem-compression comparison.
+``content``
+    The CSS1 / PNG / MNG / deflate content experiments.
+``site``
+    Print the synthetic Microscape site inventory.
+``report``
+    Regenerate the full paper-vs-measured report (EXPERIMENTS.md body).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (generate_experiments_report,
+                       reproduce_browser_table,
+                       reproduce_content_experiments,
+                       reproduce_modem_experiment,
+                       reproduce_protocol_table, reproduce_table3)
+from .core import (ALL_MODES, FIRST_TIME, REVALIDATE, run_experiment)
+from .server import APACHE, JIGSAW
+from .simnet import ENVIRONMENTS
+
+_TABLES = {
+    4: ("Jigsaw", "LAN"), 5: ("Apache", "LAN"),
+    6: ("Jigsaw", "WAN"), 7: ("Apache", "WAN"),
+    8: ("Jigsaw", "PPP"), 9: ("Apache", "PPP"),
+}
+
+_MODES = {mode.name: mode for mode in ALL_MODES}
+_MODE_ALIASES = {
+    "http/1.0": "HTTP/1.0",
+    "http/1.1": "HTTP/1.1",
+    "pipelined": "HTTP/1.1 Pipelined",
+    "compressed": "HTTP/1.1 Pipelined w. compression",
+}
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    number = args.number
+    if number == 3:
+        _, text = reproduce_table3(runs=args.runs)
+    elif number in _TABLES:
+        server, environment = _TABLES[number]
+        _, text = reproduce_protocol_table(server, environment,
+                                           runs=args.runs)
+    elif number in (10, 11):
+        server = "Jigsaw" if number == 10 else "Apache"
+        _, text = reproduce_browser_table(server, runs=args.runs)
+    else:
+        print(f"no table {number} in the paper (use 3-11)",
+              file=sys.stderr)
+        return 2
+    print(text)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    mode_key = _MODE_ALIASES.get(args.mode.lower(), args.mode)
+    if mode_key not in _MODES:
+        choices = ", ".join(sorted(_MODE_ALIASES))
+        print(f"unknown mode {args.mode!r} (choose from: {choices})",
+              file=sys.stderr)
+        return 2
+    environment = ENVIRONMENTS[args.environment.upper()]
+    profile = JIGSAW if args.server.lower() == "jigsaw" else APACHE
+    scenario = REVALIDATE if args.scenario == "revalidate" else FIRST_TIME
+    result = run_experiment(_MODES[mode_key], scenario, environment,
+                            profile, seed=args.seed)
+    print(f"mode:        {mode_key}")
+    print(f"scenario:    {scenario}")
+    print(f"environment: {environment.name}")
+    print(f"server:      {profile.name}")
+    print(f"packets:     {result.packets} "
+          f"({result.packets_client_to_server} c->s, "
+          f"{result.packets_server_to_client} s->c)")
+    print(f"bytes:       {result.payload_bytes}")
+    print(f"elapsed:     {result.elapsed:.3f} s")
+    print(f"overhead:    {result.percent_overhead:.1f} %")
+    print(f"connections: {result.connections_used} "
+          f"(max {result.max_parallel_connections} parallel)")
+    return 0
+
+
+def _cmd_modem(args: argparse.Namespace) -> int:
+    _, text = reproduce_modem_experiment(runs=args.runs)
+    print(text)
+    return 0
+
+
+def _cmd_content(_args: argparse.Namespace) -> int:
+    _, text = reproduce_content_experiments()
+    print(text)
+    return 0
+
+
+def _cmd_site(_args: argparse.Namespace) -> int:
+    from .content import build_microscape_site
+    site = build_microscape_site()
+    print(f"{'url':30s} {'type':10s} {'bytes':>7s} role")
+    print(f"{site.html_url:30s} {'text/html':10s} "
+          f"{site.html.size:7d} -")
+    for obj in site.image_objects:
+        print(f"{obj.url:30s} {'image/gif':10s} {obj.size:7d} "
+              f"{obj.role.value}")
+    print(f"{'TOTAL':30s} {'':10s} "
+          f"{site.html.size + site.total_image_bytes:7d}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print(generate_experiments_report(runs=args.runs,
+                                      browser_runs=min(args.runs, 3)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Network Performance Effects of "
+                    "HTTP/1.1, CSS1, and PNG' (SIGCOMM '97)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table = sub.add_parser("table", help="reproduce a paper table (3-11)")
+    table.add_argument("number", type=int)
+    table.add_argument("--runs", type=int, default=3)
+    table.set_defaults(fn=_cmd_table)
+
+    run = sub.add_parser("run", help="run one experiment cell")
+    run.add_argument("--mode", default="pipelined",
+                     help="http/1.0 | http/1.1 | pipelined | compressed")
+    run.add_argument("--scenario", choices=("first-time", "revalidate"),
+                     default="first-time")
+    run.add_argument("--environment", choices=("LAN", "WAN", "PPP",
+                                               "lan", "wan", "ppp"),
+                     default="LAN")
+    run.add_argument("--server", choices=("jigsaw", "apache"),
+                     default="apache")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(fn=_cmd_run)
+
+    modem = sub.add_parser("modem", help="the 8.2.1 modem experiment")
+    modem.add_argument("--runs", type=int, default=3)
+    modem.set_defaults(fn=_cmd_modem)
+
+    content = sub.add_parser("content",
+                             help="CSS/PNG/MNG/deflate experiments")
+    content.set_defaults(fn=_cmd_content)
+
+    site = sub.add_parser("site", help="print the Microscape inventory")
+    site.set_defaults(fn=_cmd_site)
+
+    report = sub.add_parser("report",
+                            help="full paper-vs-measured report")
+    report.add_argument("--runs", type=int, default=5)
+    report.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""The paper's published numbers, transcribed for comparison.
+
+Every measured value in Tables 1 and 3–11 plus the §8.2.1 modem
+experiment and the content-section numbers, as printed in the SIGCOMM
+'97 version.  Benchmarks and EXPERIMENTS.md compare against these.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Tuple
+
+__all__ = ["PaperCell", "Table3Row", "TABLE3", "PROTOCOL_TABLES",
+           "BROWSER_TABLES", "MODEM_TABLE", "CONTENT_NUMBERS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperCell:
+    """One (mode, scenario) cell: Pa / Bytes / Sec / %ov."""
+
+    packets: float
+    payload_bytes: float
+    seconds: float
+    percent_overhead: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Table3Row:
+    """Table 3 reports socket counts and per-direction packets."""
+
+    max_sockets: int
+    total_sockets: int
+    packets_client_to_server: int
+    packets_server_to_client: int
+    total_packets: int
+    seconds: float
+
+
+#: Table 3 — Jigsaw, initial high-bandwidth low-latency revalidation.
+TABLE3: Dict[str, Table3Row] = {
+    "HTTP/1.0": Table3Row(6, 40, 226, 271, 497, 1.85),
+    "HTTP/1.1": Table3Row(1, 1, 70, 153, 223, 4.13),
+    "HTTP/1.1 Pipelined": Table3Row(1, 1, 25, 58, 83, 3.02),
+}
+
+_M10 = "HTTP/1.0"
+_M11 = "HTTP/1.1"
+_MPL = "HTTP/1.1 Pipelined"
+_MPC = "HTTP/1.1 Pipelined w. compression"
+FIRST = "first-time"
+REVAL = "revalidate"
+
+#: Tables 4–9, keyed by (server, environment) then (mode, scenario).
+PROTOCOL_TABLES: Dict[Tuple[str, str],
+                      Dict[Tuple[str, str], PaperCell]] = {
+    ("Jigsaw", "LAN"): {       # Table 4
+        (_M10, FIRST): PaperCell(510.2, 216289, 0.97, 8.6),
+        (_M10, REVAL): PaperCell(374.8, 61117, 0.78, 19.7),
+        (_M11, FIRST): PaperCell(281.0, 191843, 1.25, 5.5),
+        (_M11, REVAL): PaperCell(133.4, 17694, 0.89, 23.2),
+        (_MPL, FIRST): PaperCell(181.8, 191551, 0.68, 3.7),
+        (_MPL, REVAL): PaperCell(32.8, 17694, 0.54, 6.9),
+        (_MPC, FIRST): PaperCell(148.8, 159654, 0.71, 3.6),
+        (_MPC, REVAL): PaperCell(32.6, 17687, 0.54, 6.9),
+    },
+    ("Apache", "LAN"): {       # Table 5
+        (_M10, FIRST): PaperCell(489.4, 215536, 0.72, 8.3),
+        (_M10, REVAL): PaperCell(365.4, 60605, 0.41, 19.4),
+        (_M11, FIRST): PaperCell(244.2, 189023, 0.81, 4.9),
+        (_M11, REVAL): PaperCell(98.4, 14009, 0.40, 21.9),
+        (_MPL, FIRST): PaperCell(175.8, 189607, 0.49, 3.6),
+        (_MPL, REVAL): PaperCell(29.2, 14009, 0.23, 7.7),
+        (_MPC, FIRST): PaperCell(139.8, 156834, 0.41, 3.4),
+        (_MPC, REVAL): PaperCell(28.4, 14002, 0.23, 7.5),
+    },
+    ("Jigsaw", "WAN"): {       # Table 6
+        (_M10, FIRST): PaperCell(565.8, 251913, 4.17, 8.2),
+        (_M10, REVAL): PaperCell(389.2, 62348.0, 2.96, 20.0),
+        (_M11, FIRST): PaperCell(304.0, 193595, 6.64, 5.9),
+        (_M11, REVAL): PaperCell(137.0, 18065.6, 4.95, 23.3),
+        (_MPL, FIRST): PaperCell(214.2, 193887, 2.33, 4.2),
+        (_MPL, REVAL): PaperCell(34.8, 18233.2, 1.10, 7.1),
+        (_MPC, FIRST): PaperCell(183.2, 161698, 2.09, 4.3),
+        (_MPC, REVAL): PaperCell(35.4, 19102.2, 1.15, 6.9),
+    },
+    ("Apache", "WAN"): {       # Table 7
+        (_M10, FIRST): PaperCell(559.6, 248655.2, 4.09, 8.3),
+        (_M10, REVAL): PaperCell(370.0, 61887, 2.64, 19.3),
+        (_M11, FIRST): PaperCell(309.4, 191436.0, 6.14, 6.1),
+        (_M11, REVAL): PaperCell(104.2, 14255, 4.43, 22.6),
+        (_MPL, FIRST): PaperCell(221.4, 191180.6, 2.23, 4.4),
+        (_MPL, REVAL): PaperCell(29.8, 15352, 0.86, 7.2),
+        (_MPC, FIRST): PaperCell(182.0, 159170.0, 2.11, 4.4),
+        (_MPC, REVAL): PaperCell(29.0, 15088, 0.83, 7.2),
+    },
+    ("Jigsaw", "PPP"): {       # Table 8 (no HTTP/1.0 row)
+        (_M11, FIRST): PaperCell(309.6, 190687, 63.8, 6.1),
+        (_M11, REVAL): PaperCell(89.2, 17528, 12.9, 16.9),
+        (_MPL, FIRST): PaperCell(284.4, 190735, 53.3, 5.6),
+        (_MPL, REVAL): PaperCell(31.0, 17598, 5.4, 6.6),
+        (_MPC, FIRST): PaperCell(234.2, 159449, 47.4, 5.5),
+        (_MPC, REVAL): PaperCell(31.0, 17591, 5.4, 6.6),
+    },
+    ("Apache", "PPP"): {       # Table 9
+        (_M11, FIRST): PaperCell(308.6, 187869, 65.6, 6.2),
+        (_M11, REVAL): PaperCell(89.0, 13843, 11.1, 20.5),
+        (_MPL, FIRST): PaperCell(281.4, 187918, 53.4, 5.7),
+        (_MPL, REVAL): PaperCell(26.0, 13912, 3.4, 7.0),
+        (_MPC, FIRST): PaperCell(233.0, 157214, 47.2, 5.6),
+        (_MPC, REVAL): PaperCell(26.0, 13905, 3.4, 7.0),
+    },
+}
+
+#: Tables 10–11: browsers over PPP, keyed by (server,) then
+#: (browser, scenario).
+BROWSER_TABLES: Dict[str, Dict[Tuple[str, str], PaperCell]] = {
+    "Jigsaw": {                # Table 10
+        ("Netscape Navigator", FIRST): PaperCell(339.4, 201807, 58.8, 6.3),
+        ("Netscape Navigator", REVAL): PaperCell(108, 19282, 14.9, 18.3),
+        ("Internet Explorer", FIRST): PaperCell(360.3, 199934, 63.0, 6.7),
+        ("Internet Explorer", REVAL): PaperCell(301.0, 61009, 17.0, 16.5),
+    },
+    "Apache": {                # Table 11
+        ("Netscape Navigator", FIRST): PaperCell(334.3, 199243, 58.7, 6.3),
+        ("Netscape Navigator", REVAL): PaperCell(103.3, 23741, 5.9, 14.8),
+        ("Internet Explorer", FIRST): PaperCell(381.3, 204219, 60.6, 6.9),
+        ("Internet Explorer", REVAL): PaperCell(117.0, 23056, 8.3, 16.9),
+    },
+}
+
+#: §8.2.1 — single GET of the Microscape HTML over 28.8k modems
+#: (packets, seconds) per server, uncompressed vs deflate-compressed.
+MODEM_TABLE = {
+    ("Jigsaw", "uncompressed"): (67.0, 12.21),
+    ("Jigsaw", "compressed"): (21.0, 4.35),
+    ("Apache", "uncompressed"): (67.0, 12.13),
+    ("Apache", "compressed"): (21.0, 4.43),   # Pa misprinted 4.35 in text
+}
+
+#: Content-section headline numbers.
+CONTENT_NUMBERS = {
+    "html_bytes": 42 * 1024,
+    "image_count": 42,
+    "image_bytes": 125 * 1024,
+    "static_gif_bytes": 103_299,
+    "static_png_bytes": 92_096,
+    "png_saved": 11_203,
+    "animation_gif_bytes": 24_988,
+    "animation_mng_bytes": 16_329,
+    "mng_saved": 8_659,
+    "figure1_gif_bytes": 682,
+    "figure1_css_bytes": 150,
+    "html_compressed_bytes": 11 * 1024,
+    "deflate_ratio_lowercase": 0.27,
+    "deflate_ratio_mixedcase": 0.35,
+    "gamma_bytes_per_image": 16,
+}

@@ -1,0 +1,19 @@
+"""HTTP clients: the libwww-robot reimplementation.
+
+:class:`~repro.client.robot.Robot` drives page fetches over the
+simulated network in the paper's four configurations (HTTP/1.0 with
+parallel connections; HTTP/1.1 persistent; pipelined; pipelined with
+deflate), with incremental HTML parsing, output buffering with
+size/timer/explicit flush policies, HTTP/1.1 cache validation, and
+recovery from servers that close mid-pipeline.
+"""
+
+from .discovery import IncrementalImageScanner
+from .pipeline import OutputBuffer
+from .robot import (FIRST_TIME, REVALIDATE, ClientConfig, FetchResult,
+                    Robot)
+
+__all__ = [
+    "IncrementalImageScanner", "OutputBuffer",
+    "FIRST_TIME", "REVALIDATE", "ClientConfig", "FetchResult", "Robot",
+]

@@ -1,0 +1,538 @@
+"""The libwww-robot-style web client.
+
+One client, four personalities — exactly the configurations the paper
+measures:
+
+* **HTTP/1.0**: one TCP connection per request, up to four in parallel
+  ("the same as Netscape Navigator's default"); cache revalidation via
+  one plain GET (the HTML) plus HEAD requests on the images, matching
+  the old libwww 4.1D behaviour the paper describes.
+* **HTTP/1.1 persistent**: a single connection, requests strictly
+  serialized — "the request / response sequence looks identical to
+  HTTP/1.0 but all communication happens on the same TCP connection".
+* **HTTP/1.1 pipelined**: requests buffered through
+  :class:`~repro.client.pipeline.OutputBuffer` (1024-byte threshold,
+  flush timer) with the paper's application-level explicit flush after
+  the HTML request; full HTTP/1.1 cache validation with
+  ``If-None-Match`` and entity tags.
+* **HTTP/1.1 pipelined + deflate**: the HTML request advertises
+  ``Accept-Encoding: deflate`` and the body is inflated on the fly,
+  feeding the incremental HTML parser — so a compressed first segment
+  carries ~3x the markup and discovers embedded images sooner, the
+  paper's "Why Compression is Important" effect.
+
+The robot parses HTML *incrementally*: every arriving body chunk is
+scanned for new ``<img>`` URLs, and discovered images are requested
+immediately (batched by the output buffer in pipelined mode).  It also
+survives servers that close mid-pipeline (Apache 1.2b2's five-request
+limit): unanswered requests are re-issued on a fresh connection.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from ..http import (HTTP10, HTTP11, Headers, MemoryCache, ParseError,
+                    Request, Response, ResponseParser)
+from .discovery import IncrementalImageScanner
+from ..simnet.engine import Simulator
+from ..simnet.tcp import TcpConnection, TcpStack
+from .pipeline import OutputBuffer
+
+__all__ = ["ClientConfig", "FetchResult", "Robot", "FIRST_TIME",
+           "REVALIDATE", "TAIL_MARKER"]
+
+FIRST_TIME = "first-time"
+REVALIDATE = "revalidate"
+
+#: Internal suffix distinguishing the tail fetch of a ranged image from
+#: its prefix fetch (never appears on the wire).
+TAIL_MARKER = "\x00tail"
+
+
+@dataclasses.dataclass
+class ClientConfig:
+    """Behavioural knobs of the robot (see module docstring)."""
+
+    http_version: Tuple[int, int] = HTTP11
+    #: Maximum simultaneous TCP connections (4 = Navigator's default).
+    max_connections: int = 1
+    #: Pipeline requests on persistent connections.
+    pipeline: bool = False
+    #: Ask HTTP/1.0 servers to keep the connection open.
+    keep_alive: bool = False
+    #: Advertise ``Accept-Encoding: deflate`` on the HTML request.
+    accept_deflate: bool = False
+    #: Pipeline output buffer threshold ("1024 bytes is a good
+    #: compromise") and flush timer (1 s initially, 50 ms in the final
+    #: runs; None = no timer).
+    output_buffer_size: int = 1024
+    flush_timeout: Optional[float] = 0.05
+    #: Flush explicitly after the HTML request / at end of a known batch.
+    explicit_flush: bool = True
+    #: Revalidation style: "conditional" (HTTP/1.1 Conditional GETs),
+    #: "get-plus-head" (old libwww: GET the HTML, HEAD the images), or
+    #: "conditional-or-head" (product-browser style: conditional GET
+    #: when a usable validator is cached, HEAD for images otherwise).
+    reval_strategy: str = "conditional"
+    #: Prefer entity tags ("etag") or dates ("date") as validators.
+    validator_preference: str = "etag"
+    #: Fall back to the stored response ``Date`` when the server sent no
+    #: ``Last-Modified`` (a Navigator heuristic; IE did not do this).
+    allow_date_fallback: bool = False
+    #: CPU seconds to process one response (serial client CPU).
+    per_response_cpu: float = 0.002
+    #: Disable Nagle on client connections (the paper's recommendation).
+    nodelay: bool = True
+    user_agent: str = "W3CRobot/5.1 libwww/5.1"
+    #: Extra request headers (browser profiles are more verbose).
+    extra_headers: Tuple[Tuple[str, str], ...] = ()
+    #: Re-fetch the HTML unconditionally when revalidating (an observed
+    #: product-browser behaviour; see repro.core.browsers).
+    reval_refetch_html: bool = False
+    #: Fetch embedded images discovered in the HTML.  False reproduces
+    #: the paper's §8.2.1 modem test: "the HTML retrieval (a single
+    #: HTTP GET request) only with no embedded objects".
+    follow_images: bool = True
+    #: "Poor man's multiplexing": request only the first N bytes of each
+    #: image first (enough for its metadata/dimensions), then fetch the
+    #: tails.  None disables ranged fetching.
+    range_prefix_bytes: Optional[int] = None
+
+
+@dataclasses.dataclass
+class FetchResult:
+    """Outcome of one page fetch."""
+
+    responses: Dict[str, Response] = dataclasses.field(default_factory=dict)
+    completed_at: Optional[float] = None
+    started_at: float = 0.0
+    connections_used: int = 0
+    max_parallel_connections: int = 0
+    retries: int = 0
+    errors: List[str] = dataclasses.field(default_factory=list)
+    request_bytes: int = 0
+    requests_sent: int = 0
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    @property
+    def complete(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def mean_request_bytes(self) -> float:
+        if not self.requests_sent:
+            return 0.0
+        return self.request_bytes / self.requests_sent
+
+
+def _range_has_tail(response: Response) -> bool:
+    """True when a 206's Content-Range shows bytes remain after it."""
+    spec = response.headers.get("Content-Range", "")
+    try:
+        span, total_text = spec.split()[1].split("/")
+        end = int(span.split("-")[1])
+        return end < int(total_text) - 1
+    except (IndexError, ValueError):
+        return False
+
+
+class _ConnState:
+    """One client connection with its parser and output buffer."""
+
+    def __init__(self, robot: "Robot") -> None:
+        self.robot = robot
+        self.conn: TcpConnection = robot.stack.connect(
+            robot.server_host, robot.server_port)
+        self.conn.set_nodelay(robot.config.nodelay)
+        self.parser = ResponseParser()
+        self.parser.on_body_chunk = (
+            lambda response, chunk:
+            robot._on_body_chunk(self, response, chunk))
+        self.buffer = OutputBuffer(
+            robot.sim, self.conn, size=robot.config.output_buffer_size,
+            flush_timeout=robot.config.flush_timeout)
+        self.outstanding: Deque[str] = deque()
+        self.popped = 0          # responses removed from outstanding
+        self.open = True
+        self.conn.on_data = self._on_data
+        self.conn.on_eof = self._on_eof
+        self.conn.on_reset = self._on_reset
+
+    # ------------------------------------------------------------------
+    def send_request(self, url: str, request: Request,
+                     flush: bool) -> None:
+        wire = request.to_bytes()
+        self.parser.expect(request.method)
+        self.outstanding.append(url)
+        self.robot.result.request_bytes += len(wire)
+        self.robot.result.requests_sent += 1
+        self.buffer.write(wire)
+        if flush:
+            self.buffer.flush()
+
+    # ------------------------------------------------------------------
+    def _on_data(self, _conn: TcpConnection, data: bytes) -> None:
+        try:
+            responses = self.parser.feed(data)
+        except ParseError as exc:
+            self.robot.result.errors.append(f"parse error: {exc}")
+            self.conn.abort()
+            self.open = False
+            return
+        for response in responses:
+            url = self.outstanding.popleft()
+            self.popped += 1
+            self.robot._response_arrived(self, url, response)
+
+    def _on_eof(self, _conn: TcpConnection) -> None:
+        final = None
+        try:
+            final = self.parser.eof()
+        except ParseError as exc:
+            self.robot.result.errors.append(f"truncated response: {exc}")
+        if final is not None and self.outstanding:
+            url = self.outstanding.popleft()
+            self.popped += 1
+            self.robot._response_arrived(self, url, final)
+        self.open = False
+        if self.conn.state not in ("CLOSED",):
+            self.conn.close()
+        self.robot._connection_gone(self)
+
+    def _on_reset(self, _conn: TcpConnection) -> None:
+        self.open = False
+        self.robot.result.errors.append(
+            f"connection reset with {len(self.outstanding)} outstanding")
+        self.robot._connection_gone(self)
+
+
+class Robot:
+    """Fetch a page and its embedded objects over the simulated network."""
+
+    def __init__(self, sim: Simulator, stack: TcpStack, server_host: str,
+                 server_port: int = 80,
+                 config: Optional[ClientConfig] = None,
+                 cache: Optional[MemoryCache] = None) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.server_host = server_host
+        self.server_port = server_port
+        self.config = config or ClientConfig()
+        self.cache = cache if cache is not None else MemoryCache()
+        self.result = FetchResult()
+        self._conns: List[_ConnState] = []
+        self._pending: Deque[str] = deque()
+        self._expected: Dict[str, bool] = {}   # url -> handled?
+        self._scenario = FIRST_TIME
+        self._html_url: Optional[str] = None
+        self._html_complete = False
+        self._scanner = IncrementalImageScanner()
+        self._inflater: Optional["zlib._Decompress"] = None
+        self._cpu_free_at = 0.0
+        self._started = False
+        self.on_complete: Optional[Callable[[FetchResult], None]] = None
+        #: Optional instrumentation hooks (used by repro.core.render):
+        #: on_response(url, response) fires when a response is handled;
+        #: on_body_progress(url, response, bytes_so_far, chunk) fires
+        #: for every body chunk as it arrives off the wire.
+        self.on_response: Optional[Callable[[str, Response], None]] = None
+        self.on_body_progress: Optional[
+            Callable[[str, Response, int, bytes], None]] = None
+        self._body_progress: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def fetch(self, html_url: str, scenario: str = FIRST_TIME,
+              known_urls: Optional[List[str]] = None) -> FetchResult:
+        """Start fetching; run the simulator to make progress.
+
+        ``known_urls`` (for :data:`REVALIDATE`) defaults to every URL in
+        the cache, HTML first — the robot validates them all without
+        waiting for the HTML body.
+        """
+        if self._started:
+            raise RuntimeError("robot instances are single-use")
+        self._started = True
+        self._scenario = scenario
+        self._html_url = html_url
+        self.result.started_at = self.sim.now
+        if scenario == REVALIDATE:
+            urls = known_urls
+            if urls is None:
+                urls = [html_url] + [u for u in self.cache.urls()
+                                     if u != html_url]
+            for url in urls:
+                self._expected[url] = False
+                self._pending.append(url)
+            self._html_complete = True
+        else:
+            self._expected[html_url] = False
+            self._pending.append(html_url)
+        self._dispatch()
+        return self.result
+
+    # ------------------------------------------------------------------
+    # Request construction
+    # ------------------------------------------------------------------
+    def _build_request(self, url: str) -> Request:
+        config = self.config
+        tail_of: Optional[str] = None
+        if url.endswith(TAIL_MARKER):
+            tail_of = url[:-len(TAIL_MARKER)]
+            url = tail_of
+        is_html = url == self._html_url
+        method = "GET"
+        headers = Headers([("Host", self.server_host)])
+        headers.add("User-Agent", config.user_agent)
+        headers.add("Accept", "*/*")
+        for name, value in config.extra_headers:
+            headers.add(name, value)
+        if is_html and config.accept_deflate:
+            headers.add("Accept-Encoding", "deflate")
+        if config.http_version == HTTP10 and config.keep_alive:
+            headers.add("Connection", "Keep-Alive")
+        prefix = config.range_prefix_bytes
+        if prefix and not is_html and self._scenario == FIRST_TIME:
+            if tail_of is not None:
+                headers.add("Range", f"bytes={prefix}-")
+            else:
+                headers.add("Range", f"bytes=0-{prefix - 1}")
+        if self._scenario == REVALIDATE:
+            refetch = is_html and config.reval_refetch_html
+            strategy = config.reval_strategy
+            if strategy == "get-plus-head":
+                if not is_html:
+                    method = "HEAD"
+            elif not refetch:
+                http11 = (config.http_version >= HTTP11
+                          and config.validator_preference == "etag")
+                validators = self.cache.conditional_headers(
+                    url, http11=http11,
+                    date_fallback=config.allow_date_fallback)
+                if validators:
+                    for name, value in validators:
+                        headers.add(name, value)
+                elif strategy == "conditional-or-head" and not is_html:
+                    # No usable validator: check the image's metadata
+                    # with a HEAD instead of re-transferring it.
+                    method = "HEAD"
+        return Request(method, url, config.http_version, headers)
+
+    # ------------------------------------------------------------------
+    # Dispatch policies
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        if self.result.complete:
+            return
+        config = self.config
+        persistent = (config.http_version >= HTTP11 or config.keep_alive)
+        if not persistent:
+            self._dispatch_one_shot()
+        elif config.pipeline:
+            self._dispatch_pipelined()
+        else:
+            self._dispatch_serialized()
+
+    def _dispatch_one_shot(self) -> None:
+        """HTTP/1.0: one request per connection, N connections parallel."""
+        while self._pending and (len(self._alive_conns())
+                                 < self.config.max_connections):
+            url = self._pending.popleft()
+            state = self._new_conn()
+            state.send_request(url, self._build_request(url), flush=True)
+
+    def _dispatch_serialized(self) -> None:
+        """Persistent connections, one outstanding request per conn."""
+        idle = [c for c in self._alive_conns() if not c.outstanding]
+        while self._pending and idle:
+            state = idle.pop()
+            url = self._pending.popleft()
+            state.send_request(url, self._build_request(url), flush=True)
+        while self._pending and (len(self._alive_conns())
+                                 < self.config.max_connections):
+            url = self._pending.popleft()
+            state = self._new_conn()
+            state.send_request(url, self._build_request(url), flush=True)
+
+    def _dispatch_pipelined(self) -> None:
+        """Pipeline through the buffer over up to ``max_connections``
+        persistent connections (the HTTP/1.1 specification permits two;
+        the paper's tests use one, and discuss how splitting "divides
+        the mean length of packet trains down by a factor of two")."""
+        conns = self._alive_conns()
+        if not conns:
+            conns = [self._new_conn()]
+        while (len(conns) < self.config.max_connections
+               and len(self._pending) > len(conns)):
+            conns.append(self._new_conn())
+        wrote = set()
+        index = 0
+        while self._pending:
+            url = self._pending.popleft()
+            request = self._build_request(url)
+            if url == self._html_url:
+                state = conns[0]
+            else:
+                state = conns[index % len(conns)]
+                index += 1
+            explicit = (self.config.explicit_flush
+                        and url == self._html_url
+                        and self._scenario == FIRST_TIME)
+            state.send_request(url, request, flush=explicit)
+            wrote.add(id(state))
+        # The application knows no further requests are coming right now
+        # (the HTML is fully parsed, or the batch was fully known):
+        # flush rather than wait for the timer.
+        if self.config.explicit_flush and self._html_complete:
+            for state in conns:
+                if id(state) in wrote:
+                    state.buffer.flush()
+
+    def _new_conn(self) -> _ConnState:
+        state = _ConnState(self)
+        self._conns.append(state)
+        self.result.connections_used += 1
+        parallel = len(self._alive_conns())
+        self.result.max_parallel_connections = max(
+            self.result.max_parallel_connections, parallel)
+        return state
+
+    def _alive_conns(self) -> List[_ConnState]:
+        return [c for c in self._conns if c.open]
+
+    # ------------------------------------------------------------------
+    # Response path
+    # ------------------------------------------------------------------
+    def _response_arrived(self, state: _ConnState, url: str,
+                          response: Response) -> None:
+        cost = self.config.per_response_cpu
+        start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost
+        self.sim.schedule_at(self._cpu_free_at, self._handle_response,
+                             state, url, response)
+
+    def _handle_response(self, state: _ConnState, url: str,
+                         response: Response) -> None:
+        if response.status in (200, 304) and response.request_method == "GET":
+            body = response.body
+            if response.headers.get("Content-Encoding") == "deflate" \
+                    and response.status == 200:
+                body = zlib.decompress(response.body)
+                response = dataclasses.replace(response, body=body)
+                response.headers.remove("Content-Encoding")
+            self.cache.handle_response(url, response)
+        self.result.responses[url] = response
+        self._expected[url] = True
+        # A ranged image prefix: schedule the tail fetch unless the
+        # prefix already covered the whole entity.
+        if (self.config.range_prefix_bytes
+                and self._scenario == FIRST_TIME
+                and response.status == 206
+                and not url.endswith(TAIL_MARKER)):
+            tail_key = url + TAIL_MARKER
+            if tail_key not in self._expected \
+                    and _range_has_tail(response):
+                self._expected[tail_key] = False
+                self._pending.append(tail_key)
+        if self.on_response is not None:
+            self.on_response(url, response)
+        if url == self._html_url and response.status == 200 \
+                and not self._scanner.bytes_seen:
+            # Body observer missed it (e.g. zero-chunk path): scan whole.
+            self._discover(response.body if isinstance(response.body, bytes)
+                           else bytes(response.body))
+        if url == self._html_url:
+            self._html_complete = True
+        close_after = not response.allows_keep_alive()
+        if close_after and state.open:
+            state.open = False
+            if state.conn.state != "CLOSED":
+                state.conn.close()
+        self._dispatch()
+        self._check_complete()
+
+    # ------------------------------------------------------------------
+    # Incremental HTML discovery
+    # ------------------------------------------------------------------
+    def _on_body_chunk(self, state: "_ConnState", response: Response,
+                       chunk: bytes) -> None:
+        """Called by the parser for every body byte-run as it arrives."""
+        if self.on_body_progress is not None and state.outstanding:
+            # Several responses can complete inside one parser feed;
+            # index into the outstanding queue by how many this parser
+            # has finished beyond those already popped.
+            index = state.parser.messages_completed - state.popped
+            if 0 <= index < len(state.outstanding):
+                url = state.outstanding[index]
+                total = self._body_progress.get(url, 0) + len(chunk)
+                self._body_progress[url] = total
+                self.on_body_progress(url, response, total, chunk)
+        if self._scenario != FIRST_TIME:
+            return
+        # Only the first (HTML) response feeds the scanner.
+        if response.headers.get("Content-Type", "").startswith("text/html"):
+            if response.headers.get("Content-Encoding") == "deflate":
+                if self._inflater is None:
+                    self._inflater = zlib.decompressobj()
+                try:
+                    text = self._inflater.decompress(chunk)
+                except zlib.error:
+                    return
+            else:
+                text = chunk
+            self._discover(text)
+
+    def _discover(self, html_bytes: bytes) -> None:
+        if not self.config.follow_images:
+            return
+        new_urls = self._scanner.feed(html_bytes)
+        fresh = [u for u in new_urls if u not in self._expected]
+        if not fresh:
+            return
+        for url in fresh:
+            self._expected[url] = False
+            self._pending.append(url)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Retry / completion
+    # ------------------------------------------------------------------
+    def _connection_gone(self, state: _ConnState) -> None:
+        if state.outstanding:
+            # Server closed mid-pipeline (e.g. a request cap): re-issue
+            # the unanswered requests on a fresh connection.
+            self.result.retries += 1
+            requeue = list(state.outstanding)
+            state.outstanding.clear()
+            for url in reversed(requeue):
+                self._pending.appendleft(url)
+        self._dispatch()
+        self._check_complete()
+
+    def _check_complete(self) -> None:
+        if self.result.complete:
+            return
+        if self._pending or not self._html_complete:
+            return
+        if any(not handled for handled in self._expected.values()):
+            return
+        if any(c.outstanding for c in self._alive_conns()):
+            return
+        self.result.completed_at = self.sim.now
+        for state in self._alive_conns():
+            state.buffer.flush()
+            state.open = False
+            if state.conn.state != "CLOSED":
+                state.conn.close()
+        if self.on_complete is not None:
+            self.on_complete(self.result)

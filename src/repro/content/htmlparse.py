@@ -1,0 +1,152 @@
+"""An incremental HTML tokenizer (the browser-parser substrate).
+
+The robot's image discovery originally pattern-matched ``<img src>``;
+this tokenizer does the job the way a 1997 browser parser did: a
+streaming state machine over text / tags / comments / declarations that
+tolerates attribute quoting styles, newlines inside tags, and tags
+split across arbitrary chunk boundaries — and that does *not* fetch
+images referenced inside comments or quoted attribute values of other
+tags.
+
+Only tokenization is implemented (no tree building): enough for
+discovery, the CSS-replacement rewriter, and the paper's incremental
+"first segment triggers the next request batch" behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional
+
+__all__ = ["Token", "HtmlTokenizer", "tokenize"]
+
+#: Attribute syntax inside a complete tag: name[=value] with double-,
+#: single- or un-quoted values.
+_ATTRIBUTE = re.compile(
+    r"""([a-zA-Z_:][-a-zA-Z0-9_:.]*)       # name
+        (?:\s*=\s*
+           (?:"([^"]*)" | '([^']*)' | ([^\s>]+)))?""",
+    re.VERBOSE)
+
+_NAME = re.compile(r"[a-zA-Z][-a-zA-Z0-9_:.]*")
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical unit of the HTML stream."""
+
+    kind: str                 # "text" | "start" | "end" | "comment" |
+    #                           "declaration"
+    data: str                 # text content, tag name, or raw body
+    attrs: Optional[Dict[str, str]] = None
+
+    def get(self, attribute: str, default: Optional[str] = None
+            ) -> Optional[str]:
+        """Case-insensitive attribute lookup for tag tokens."""
+        if not self.attrs:
+            return default
+        return self.attrs.get(attribute.lower(), default)
+
+
+class HtmlTokenizer:
+    """Streaming tokenizer: feed chunks, receive completed tokens.
+
+    Text tokens may be split at chunk boundaries (they are emitted as
+    soon as available — a browser renders text incrementally); tags,
+    comments and declarations are held until complete.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = ""
+        self._state = "text"       # text | markup | comment
+
+    def feed(self, chunk: str) -> List[Token]:
+        """Consume a chunk; return the tokens it completed."""
+        self._buffer += chunk
+        tokens: List[Token] = []
+        while True:
+            if self._state == "text":
+                if not self._take_text(tokens):
+                    return tokens
+            elif self._state == "markup":
+                if not self._take_markup(tokens):
+                    return tokens
+            else:   # comment
+                if not self._take_comment(tokens):
+                    return tokens
+
+    def finish(self) -> List[Token]:
+        """Flush any trailing text at end of input."""
+        if self._state == "text" and self._buffer:
+            token = Token("text", self._buffer)
+            self._buffer = ""
+            return [token]
+        return []
+
+    # ------------------------------------------------------------------
+    def _take_text(self, tokens: List[Token]) -> bool:
+        lt = self._buffer.find("<")
+        if lt == -1:
+            if self._buffer:
+                tokens.append(Token("text", self._buffer))
+                self._buffer = ""
+            return False
+        if lt > 0:
+            tokens.append(Token("text", self._buffer[:lt]))
+            self._buffer = self._buffer[lt:]
+        if self._buffer.startswith("<!--"):
+            self._state = "comment"
+        elif self._buffer in ("<", "<!", "<!-"):
+            return False    # not enough lookahead to rule out a comment
+        else:
+            self._state = "markup"
+        return True
+
+    def _take_markup(self, tokens: List[Token]) -> bool:
+        gt = self._buffer.find(">")
+        if gt == -1:
+            return False
+        raw = self._buffer[1:gt]
+        self._buffer = self._buffer[gt + 1:]
+        self._state = "text"
+        tokens.append(self._classify(raw))
+        return True
+
+    def _take_comment(self, tokens: List[Token]) -> bool:
+        end = self._buffer.find("-->", 4)
+        if end == -1:
+            return False
+        tokens.append(Token("comment", self._buffer[4:end]))
+        self._buffer = self._buffer[end + 3:]
+        self._state = "text"
+        return True
+
+    @staticmethod
+    def _classify(raw: str) -> Token:
+        if raw.startswith("!"):
+            return Token("declaration", raw[1:].strip())
+        if raw.startswith("/"):
+            match = _NAME.match(raw[1:].strip())
+            name = match.group(0).lower() if match else ""
+            return Token("end", name)
+        work = raw.strip()
+        match = _NAME.match(work)
+        if match is None:
+            return Token("text", "<" + raw + ">")     # junk, keep as text
+        name = match.group(0).lower()
+        attrs: Dict[str, str] = {}
+        for found in _ATTRIBUTE.finditer(work[match.end():]):
+            key = found.group(1).lower()
+            value = next((g for g in found.groups()[1:]
+                          if g is not None), "")
+            attrs.setdefault(key, value)
+        return Token("start", name, attrs)
+
+
+def tokenize(html: str) -> List[Token]:
+    """One-shot tokenization of a complete document."""
+    tokenizer = HtmlTokenizer()
+    tokens = tokenizer.feed(html)
+    tokens.extend(tokenizer.finish())
+    return tokens

@@ -1,0 +1,381 @@
+"""The synthetic "Microscape" test web site.
+
+The paper synthesized its test site by merging the Netscape and
+Microsoft home pages: "a single page containing typical HTML totaling
+42KB with 42 inlined GIF images totaling 125KB.  The embedded images
+range in size from 70B to 40KB; most are small, with 19 images less
+than 1KB, 7 images between 1KB and 2KB, and 6 images between 2KB and
+3KB."  Elsewhere: the 40 *static* GIFs total 103,299 bytes, the two
+animations 24,988 bytes, and "over half of the data was contained in a
+single image and two animations".
+
+This module rebuilds that site deterministically from synthetic pixels:
+each manifest entry has a target GIF size and a role (text banner,
+bullet, spacer, rule, symbol icon, logo, photo, animation); generators
+are calibrated by iterative re-encoding until the real encoded GIF
+lands near its target.  Roles drive the CSS-replacement analysis
+(:mod:`repro.content.css`), and the stored pixel data drives the
+GIF→PNG/MNG conversion (:mod:`repro.content.transform`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import math
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import html as html_mod
+from .css import ImageRole
+from .gif import encode_animated_gif, encode_gif
+from .images import (IndexedImage, animation_frames, banner, bullet, icon,
+                     photo_like, spacer)
+
+__all__ = ["SiteObject", "MicroscapeSite", "build_microscape_site",
+           "HTML_URL"]
+
+HTML_URL = "/home.html"
+
+#: Paper's headline content numbers, used as calibration targets.
+TARGET_HTML_BYTES = 42 * 1024
+TARGET_STATIC_GIF_BYTES = 103_299
+TARGET_ANIMATION_BYTES = 24_988
+
+
+@dataclasses.dataclass
+class SiteObject:
+    """One retrievable object of the site."""
+
+    url: str
+    content_type: str
+    body: bytes
+    role: Optional[ImageRole] = None
+    #: Pixel data for static images (None for the HTML page).
+    image: Optional[IndexedImage] = None
+    #: Frames for animations.
+    frames: Optional[List[IndexedImage]] = None
+    #: The text a TEXT_BANNER image depicts (for CSS replacement).
+    text: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+
+@dataclasses.dataclass
+class MicroscapeSite:
+    """The whole site: one HTML page plus its embedded images."""
+
+    objects: Dict[str, SiteObject]
+    html_url: str = HTML_URL
+
+    @property
+    def html(self) -> SiteObject:
+        return self.objects[self.html_url]
+
+    @property
+    def image_objects(self) -> List[SiteObject]:
+        """All embedded images in page order."""
+        return [self.objects[url] for url in self.embedded_urls()]
+
+    def embedded_urls(self) -> List[str]:
+        """Distinct embedded URLs in page order (the 42 GETs' targets)."""
+        return html_mod.distinct_image_urls(
+            self.html.body.decode("latin-1"))
+
+    def all_urls(self) -> List[str]:
+        """HTML first, then embedded objects: the 43 request targets."""
+        return [self.html_url] + self.embedded_urls()
+
+    @property
+    def static_images(self) -> List[SiteObject]:
+        return [o for o in self.image_objects
+                if o.role != ImageRole.ANIMATION]
+
+    @property
+    def animations(self) -> List[SiteObject]:
+        return [o for o in self.image_objects
+                if o.role == ImageRole.ANIMATION]
+
+    @property
+    def total_image_bytes(self) -> int:
+        return sum(o.size for o in self.image_objects)
+
+
+# ----------------------------------------------------------------------
+# Calibration
+# ----------------------------------------------------------------------
+def _calibrate(builder: Callable[[int], bytes], target: int,
+               initial_budget: int, max_rounds: int = 6,
+               tolerance: float = 0.08) -> Tuple[bytes, int]:
+    """Adjust a generator's pixel budget until its encoding nears target.
+
+    ``builder`` maps a pixel budget to encoded bytes; encoded size is
+    monotone-ish in the budget, so multiplicative correction converges
+    in a few rounds.  Returns (encoded bytes, final budget).
+    """
+    budget = max(16, initial_budget)
+    encoded = builder(budget)
+    for _ in range(max_rounds):
+        error = len(encoded) / target
+        if abs(error - 1.0) <= tolerance:
+            break
+        budget = max(16, int(budget / error))
+        encoded = builder(budget)
+    return encoded, budget
+
+
+def _photo_builder(colors: int, noise: float, seed: int,
+                   aspect: float = 1.5) -> Callable[[int], bytes]:
+    def build(pixel_budget: int) -> bytes:
+        width = max(4, int(math.sqrt(pixel_budget * aspect)))
+        height = max(4, pixel_budget // width)
+        return encode_gif(photo_like(width, height, colors=colors,
+                                     seed=seed, noise=noise))
+    return build
+
+
+def _speckle_for(target_bytes: int) -> float:
+    """Anti-aliasing speckle grows with artwork size (bigger banners and
+    icons of the era were anti-aliased and dithered)."""
+    if target_bytes < 600:
+        return 0.0
+    if target_bytes < 1500:
+        return 0.01
+    return 0.015
+
+
+def _banner_builder(text: str, seed: int,
+                    speckle: float) -> Callable[[int], bytes]:
+    def build(pixel_budget: int) -> bytes:
+        width = max(30, int(math.sqrt(pixel_budget * 5)))
+        height = max(12, pixel_budget // width)
+        return encode_gif(banner(text, width=width, height=height,
+                                 seed=seed, speckle=speckle))
+    return build
+
+
+def _icon_builder(colors: int, seed: int,
+                  speckle: float) -> Callable[[int], bytes]:
+    def build(pixel_budget: int) -> bytes:
+        size = max(6, int(math.sqrt(pixel_budget)))
+        return encode_gif(icon(size=size, colors=colors, seed=seed,
+                               speckle=speckle))
+    return build
+
+
+def _animation_builder(frames: int, colors: int, noise: float,
+                       seed: int) -> Callable[[int], bytes]:
+    def build(pixel_budget: int) -> bytes:
+        per_frame = max(64, pixel_budget // frames)
+        width = max(8, int(math.sqrt(per_frame * 1.5)))
+        height = max(8, per_frame // width)
+        return encode_animated_gif(animation_frames(
+            width, height, frames=frames, colors=colors, seed=seed,
+            noise=noise))
+    return build
+
+
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class _ImageSpec:
+    name: str
+    role: ImageRole
+    target_bytes: Optional[int]    # None: accept the natural size
+    kind: str                      # spacer|bullet|rule|banner|icon|photo|anim
+    text: str = ""
+    colors: int = 8
+    noise: float = 0.5
+    frames: int = 8
+
+
+def _manifest() -> List[_ImageSpec]:
+    """The 42-image manifest matching the paper's size histogram.
+
+    19 images under 1 KB, 7 in 1–2 KB, 6 in 2–3 KB, 8 larger statics
+    (including the single ~35 KB hero image), plus 2 animations; static
+    targets sum to ≈103 KB, animations to ≈25 KB.
+    """
+    specs: List[_ImageSpec] = []
+    # --- under 1 KB (19) ------------------------------------------------
+    for index, (w, h) in enumerate([(1, 1), (10, 2), (50, 1), (120, 1)]):
+        specs.append(_ImageSpec(f"spacer{index}", ImageRole.SPACER, None,
+                                "spacer", text=f"{w}x{h}"))
+    for index, size in enumerate([7, 8, 9, 10, 12]):
+        specs.append(_ImageSpec(f"bullet{index}", ImageRole.BULLET, None,
+                                "bullet", text=str(size)))
+    for index in range(2):
+        specs.append(_ImageSpec(f"rule{index}", ImageRole.RULE, None,
+                                "rule"))
+    for index, target in enumerate([150, 200, 260, 330]):
+        specs.append(_ImageSpec(f"sym{index}", ImageRole.SYMBOL_ICON,
+                                target, "icon", colors=4))
+    for index, (target, text) in enumerate(
+            [(480, "new"), (600, "go"), (682, "solutions"), (880, "search")]):
+        specs.append(_ImageSpec(f"minibanner{index}", ImageRole.TEXT_BANNER,
+                                target, "banner", text=text))
+    # --- 1–2 KB (7) -----------------------------------------------------
+    for index, (target, text) in enumerate(
+            [(1120, "products"), (1250, "download now"),
+             (1500, "developer zone"), (1800, "free trial")]):
+        specs.append(_ImageSpec(f"banner{index}", ImageRole.TEXT_BANNER,
+                                target, "banner", text=text))
+    for index, target in enumerate([1150, 1450, 1750]):
+        specs.append(_ImageSpec(f"icon{index}", ImageRole.SYMBOL_ICON,
+                                target, "icon", colors=16))
+    # --- 2–3 KB (6) -----------------------------------------------------
+    for index, (target, text) in enumerate(
+            [(2300, "internet solutions"), (2650, "communicator suite")]):
+        specs.append(_ImageSpec(f"bigbanner{index}", ImageRole.TEXT_BANNER,
+                                target, "banner", text=text))
+    for index, target in enumerate([2300, 2700]):
+        specs.append(_ImageSpec(f"bigicon{index}", ImageRole.SYMBOL_ICON,
+                                target, "icon", colors=32))
+    for index, target in enumerate([2200, 2900]):
+        specs.append(_ImageSpec(f"smalllogo{index}", ImageRole.LOGO,
+                                target, "photo", colors=32, noise=0.25))
+    # --- larger statics (8), incl. the ~35 KB hero ----------------------
+    for index, target in enumerate([3500, 3900, 4400]):
+        specs.append(_ImageSpec(f"logo{index}", ImageRole.LOGO, target,
+                                "photo", colors=64, noise=0.3))
+    for index, target in enumerate([4800, 5400, 6200, 7000]):
+        specs.append(_ImageSpec(f"photo{index}", ImageRole.PHOTO, target,
+                                "photo", colors=128, noise=0.3))
+    specs.append(_ImageSpec("hero", ImageRole.PHOTO, 36_800, "photo",
+                            colors=128, noise=0.3))
+    # --- animations (2) --------------------------------------------------
+    specs.append(_ImageSpec("anim0", ImageRole.ANIMATION, 12_500, "anim",
+                            colors=32, noise=0.35, frames=8))
+    specs.append(_ImageSpec("anim1", ImageRole.ANIMATION, 12_488, "anim",
+                            colors=32, noise=0.35, frames=10))
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Site assembly
+# ----------------------------------------------------------------------
+def _build_image(spec: _ImageSpec, seed: int) -> SiteObject:
+    url = f"/gifs/{spec.name}.gif"
+    if spec.kind == "spacer":
+        w, _, h = spec.text.partition("x")
+        image = spacer(int(w), int(h))
+        return SiteObject(url, "image/gif", encode_gif(image), spec.role,
+                          image=image)
+    if spec.kind == "bullet":
+        image = bullet(int(spec.text))
+        return SiteObject(url, "image/gif", encode_gif(image), spec.role,
+                          image=image)
+    if spec.kind == "rule":
+        image = banner("", width=468, height=3, seed=seed)
+        return SiteObject(url, "image/gif", encode_gif(image), spec.role,
+                          image=image)
+    assert spec.target_bytes is not None
+    if spec.kind == "banner":
+        speckle = _speckle_for(spec.target_bytes)
+        builder = _banner_builder(spec.text, seed, speckle)
+        body, budget = _calibrate(builder, spec.target_bytes,
+                                  spec.target_bytes * 6)
+        width = max(30, int(math.sqrt(budget * 5)))
+        height = max(12, budget // width)
+        image = banner(spec.text, width=width, height=height, seed=seed,
+                       speckle=speckle)
+        return SiteObject(url, "image/gif", body, spec.role, image=image,
+                          text=spec.text)
+    if spec.kind == "icon":
+        speckle = _speckle_for(spec.target_bytes)
+        builder = _icon_builder(spec.colors, seed, speckle)
+        body, budget = _calibrate(builder, spec.target_bytes,
+                                  spec.target_bytes * 2)
+        image = icon(size=max(6, int(math.sqrt(budget))),
+                     colors=spec.colors, seed=seed, speckle=speckle)
+        return SiteObject(url, "image/gif", body, spec.role, image=image)
+    if spec.kind == "photo":
+        builder = _photo_builder(spec.colors, spec.noise, seed)
+        body, budget = _calibrate(builder, spec.target_bytes,
+                                  int(spec.target_bytes / 1.2))
+        width = max(4, int(math.sqrt(budget * 1.5)))
+        height = max(4, budget // width)
+        image = photo_like(width, height, colors=spec.colors, seed=seed,
+                           noise=spec.noise)
+        return SiteObject(url, "image/gif", body, spec.role, image=image)
+    if spec.kind == "anim":
+        builder = _animation_builder(spec.frames, spec.colors, spec.noise,
+                                     seed)
+        body, budget = _calibrate(builder, spec.target_bytes,
+                                  spec.target_bytes)
+        per_frame = max(64, budget // spec.frames)
+        width = max(8, int(math.sqrt(per_frame * 1.5)))
+        height = max(8, per_frame // width)
+        frames = animation_frames(width, height, frames=spec.frames,
+                                  colors=spec.colors, seed=seed,
+                                  noise=spec.noise)
+        return SiteObject(url, "image/gif", body, spec.role, frames=frames)
+    raise AssertionError(f"unknown image kind {spec.kind}")
+
+
+def _build_html(image_objects: Sequence[SiteObject], seed: int) -> bytes:
+    """Assemble the 42 KB page referencing every image once."""
+    rng = random.Random(seed)
+    parts: List[str] = [
+        "<html>",
+        "<head>",
+        "<title>Microscape - the internet starts here</title>",
+        '<meta name="description" content="Microscape home page: '
+        'products, downloads, developer resources and support.">',
+        "</head>",
+        '<body bgcolor="#ffffff" text="#000000" link="#0000cc">',
+    ]
+    nav_links = ["/products", "/download", "/support", "/developer",
+                 "/search", "/company/about", "/international"]
+    parts.append(html_mod.nav_table(nav_links, seed=seed))
+    # Interleave images with filler so references spread through the
+    # document the way a real home page does.
+    images = list(image_objects)
+    sections = 12
+    per_section = max(1, (len(images) + sections - 1) // sections)
+    section_index = 0
+    while images:
+        section_index += 1
+        parts.append(f"<h2>Section {section_index}: "
+                     f"{rng.choice(['news', 'products', 'events', 'tips'])}"
+                     f"</h2>")
+        for obj in images[:per_section]:
+            image = obj.image or (obj.frames[0] if obj.frames else None)
+            width = image.width if image else 0
+            height = image.height if image else 0
+            alt = obj.text or obj.url.rsplit("/", 1)[-1].split(".")[0]
+            parts.append(f'<img src="{obj.url}" width="{width}" '
+                         f'height="{height}" alt="{alt}" border="0">')
+        del images[:per_section]
+        parts.append(html_mod.filler_paragraphs(
+            3, 60, seed=seed + section_index))
+    parts.append(html_mod.nav_table(nav_links, seed=seed + 1))
+    parts.append("<address>copyright 1997 microscape corporation; "
+                 "all rights reserved</address>")
+    parts.append("</body>")
+    parts.append("</html>")
+    html = "\n".join(parts)
+    # Pad with more filler paragraphs to reach the 42 KB target.
+    filler_index = 100
+    while len(html) < TARGET_HTML_BYTES:
+        extra = html_mod.filler_paragraphs(2, 60, seed=seed + filler_index)
+        html = html.replace("</body>", extra + "\n</body>", 1)
+        filler_index += 1
+    return html.encode("latin-1")
+
+
+@functools.lru_cache(maxsize=4)
+def build_microscape_site(seed: int = 1997) -> MicroscapeSite:
+    """Build (and cache) the deterministic Microscape site."""
+    objects: Dict[str, SiteObject] = {}
+    image_objects = []
+    for index, spec in enumerate(_manifest()):
+        obj = _build_image(spec, seed=seed * 131 + index)
+        objects[obj.url] = obj
+        image_objects.append(obj)
+    html_body = _build_html(image_objects, seed)
+    objects[HTML_URL] = SiteObject(HTML_URL, "text/html", html_body)
+    return MicroscapeSite(objects=objects)

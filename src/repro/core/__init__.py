@@ -1,0 +1,34 @@
+"""Experiment core: protocol modes, scenarios, runner, browser profiles.
+
+This is the package that turns the substrates (simulated network, HTTP
+layer, clients, servers, content) into the paper's experiments::
+
+    from repro.core import (HTTP11_PIPELINED, FIRST_TIME, run_repeated)
+    from repro.server import APACHE
+    from repro.simnet import WAN
+
+    row = run_repeated(HTTP11_PIPELINED, FIRST_TIME, WAN, APACHE)
+    print(row.packets, row.payload_bytes, row.elapsed,
+          row.percent_overhead)
+"""
+
+from .browsers import BROWSERS, BrowserProfile, IE_40B1, NETSCAPE_40B5
+from .modes import (ALL_MODES, HTTP10_MODE, HTTP11_PERSISTENT,
+                    HTTP11_PIPELINED, HTTP11_PIPELINED_COMPRESSED,
+                    ProtocolMode, TABLE_MODES,
+                    initial_tuning_client_config)
+from .render import GIF_DIMENSION_BYTES, RenderMetrics, measure_render
+from .runner import (AveragedResult, ExperimentError, RunResult,
+                     run_experiment, run_repeated)
+from .scenarios import FIRST_TIME, REVALIDATE, SCENARIOS, prefill_cache
+
+__all__ = [
+    "BROWSERS", "BrowserProfile", "IE_40B1", "NETSCAPE_40B5",
+    "ALL_MODES", "HTTP10_MODE", "HTTP11_PERSISTENT", "HTTP11_PIPELINED",
+    "HTTP11_PIPELINED_COMPRESSED", "ProtocolMode", "TABLE_MODES",
+    "initial_tuning_client_config",
+    "GIF_DIMENSION_BYTES", "RenderMetrics", "measure_render",
+    "AveragedResult", "ExperimentError", "RunResult", "run_experiment",
+    "run_repeated",
+    "FIRST_TIME", "REVALIDATE", "SCENARIOS", "prefill_cache",
+]

@@ -1,0 +1,224 @@
+"""The experiment runner: one fetch of Microscape, fully measured.
+
+Wires a :class:`~repro.client.robot.Robot` and a
+:class:`~repro.server.base.SimHttpServer` across a
+:class:`~repro.simnet.network.TwoHostNetwork`, runs the simulation to
+quiescence, verifies the transfer was correct, and reduces the packet
+trace to the paper's Pa / Bytes / Sec / %ov columns.
+:func:`run_repeated` averages five seeded runs, as every number in
+Tables 3–11 is.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Dict, List, Optional, Sequence
+
+from ..client.robot import ClientConfig, FetchResult, Robot
+from ..content.microscape import MicroscapeSite, build_microscape_site
+from ..http import MemoryCache
+from ..server.base import SimHttpServer
+from ..server.profiles import ServerProfile
+from ..server.static import ResourceStore
+from ..simnet.link import NetworkEnvironment
+from ..simnet.network import SERVER_HOST, TwoHostNetwork
+from ..simnet.tcp import TcpConfig
+from ..simnet.trace import TraceSummary
+from .modes import ProtocolMode
+from .scenarios import FIRST_TIME, REVALIDATE, prefill_cache
+
+__all__ = ["RunResult", "AveragedResult", "ExperimentError",
+           "run_experiment", "run_repeated"]
+
+#: Default jitter: a small seeded variation standing in for the network
+#: fluctuations the paper averaged over five runs.
+DEFAULT_JITTER = 0.02
+
+_STORE_CACHE: Dict[int, ResourceStore] = {}
+
+
+class ExperimentError(RuntimeError):
+    """Raised when a run does not complete or returns wrong content."""
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Measurements from a single run (one row-cell of a table)."""
+
+    packets: int
+    payload_bytes: int
+    percent_overhead: float
+    elapsed: float
+    packets_client_to_server: int
+    packets_server_to_client: int
+    connections_used: int
+    max_parallel_connections: int
+    retries: int
+    #: Server CPU-busy seconds (the paper's future-work quantification).
+    server_cpu_seconds: float
+    mean_packets_per_connection: float
+    mean_packet_size: float
+    mean_request_bytes: float
+    statuses: Dict[int, int]
+    fetch: FetchResult
+    trace: TraceSummary
+
+
+@dataclasses.dataclass
+class AveragedResult:
+    """Mean of several seeded runs — what the paper's tables print."""
+
+    runs: List[RunResult]
+
+    def _mean(self, attribute: str) -> float:
+        return statistics.fmean(getattr(r, attribute) for r in self.runs)
+
+    @property
+    def packets(self) -> float:
+        return self._mean("packets")
+
+    @property
+    def payload_bytes(self) -> float:
+        return self._mean("payload_bytes")
+
+    @property
+    def percent_overhead(self) -> float:
+        return self._mean("percent_overhead")
+
+    @property
+    def elapsed(self) -> float:
+        return self._mean("elapsed")
+
+    @property
+    def packets_client_to_server(self) -> float:
+        return self._mean("packets_client_to_server")
+
+    @property
+    def packets_server_to_client(self) -> float:
+        return self._mean("packets_server_to_client")
+
+    @property
+    def connections_used(self) -> float:
+        return self._mean("connections_used")
+
+    @property
+    def max_parallel_connections(self) -> float:
+        return max(r.max_parallel_connections for r in self.runs)
+
+    @property
+    def server_cpu_seconds(self) -> float:
+        return self._mean("server_cpu_seconds")
+
+    @property
+    def mean_packets_per_connection(self) -> float:
+        return self._mean("mean_packets_per_connection")
+
+    @property
+    def mean_packet_size(self) -> float:
+        return self._mean("mean_packet_size")
+
+
+def _resource_store(site: MicroscapeSite) -> ResourceStore:
+    key = id(site)
+    store = _STORE_CACHE.get(key)
+    if store is None:
+        store = ResourceStore.from_site(site)
+        _STORE_CACHE[key] = store
+    return store
+
+
+def run_experiment(mode: ProtocolMode, scenario: str,
+                   environment: NetworkEnvironment,
+                   profile: ServerProfile, *,
+                   site: Optional[MicroscapeSite] = None,
+                   seed: int = 0, jitter: float = DEFAULT_JITTER,
+                   client_config: Optional[ClientConfig] = None,
+                   flush_timeout: Optional[float] = 0.05,
+                   explicit_flush: bool = True,
+                   verify: bool = True,
+                   max_sim_time: float = 1200.0) -> RunResult:
+    """Run one (mode, scenario, environment, server) cell.
+
+    ``client_config`` overrides the mode-derived configuration for
+    ablations (flush policies, Nagle, buffer sizes).
+    """
+    site = site or build_microscape_site()
+    store = _resource_store(site)
+    # The server host ran Solaris 2.5, whose delayed-ACK timer is 50 ms
+    # (the clients were BSD-derived 200 ms stacks).
+    server_tcp = TcpConfig(mss=environment.mss, delack_delay=0.050)
+    net = TwoHostNetwork(environment, seed=seed, jitter=jitter,
+                         server_config=server_tcp)
+    server = SimHttpServer(net.sim, net.server, store, profile)
+    config = client_config or mode.client_config(
+        flush_timeout=flush_timeout, explicit_flush=explicit_flush)
+    cache = MemoryCache()
+    if scenario == REVALIDATE:
+        prefill_cache(cache, store, site, profile)
+    robot = Robot(net.sim, net.client, SERVER_HOST, server.port,
+                  config, cache)
+    known = site.all_urls() if scenario == REVALIDATE else None
+    result = robot.fetch(site.html_url, scenario, known_urls=known)
+    net.run(until=max_sim_time)
+    net.sim.run()   # drain any residual timers/ACKs past the deadline
+    if not result.complete:
+        raise ExperimentError(
+            f"fetch did not complete: {len(result.responses)} responses, "
+            f"errors={result.errors}")
+    if verify:
+        _verify(result, scenario, site)
+    statuses: Dict[int, int] = {}
+    for response in result.responses.values():
+        statuses[response.status] = statuses.get(response.status, 0) + 1
+    trace = net.trace.summary()
+    return RunResult(
+        packets=trace.packets,
+        payload_bytes=trace.payload_bytes,
+        percent_overhead=trace.percent_overhead,
+        elapsed=result.elapsed or 0.0,
+        packets_client_to_server=trace.packets_client_to_server,
+        packets_server_to_client=trace.packets_server_to_client,
+        connections_used=result.connections_used,
+        max_parallel_connections=result.max_parallel_connections,
+        retries=result.retries,
+        server_cpu_seconds=server.cpu_busy_seconds,
+        mean_packets_per_connection=trace.mean_packets_per_connection,
+        mean_packet_size=trace.mean_packet_size,
+        mean_request_bytes=result.mean_request_bytes,
+        statuses=statuses,
+        fetch=result,
+        trace=trace)
+
+
+def _verify(result: FetchResult, scenario: str,
+            site: MicroscapeSite) -> None:
+    """Check the run retrieved exactly the right content."""
+    expected_urls = set(site.all_urls())
+    got_urls = set(result.responses)
+    if got_urls != expected_urls:
+        missing = expected_urls - got_urls
+        raise ExperimentError(f"missing responses for {sorted(missing)}")
+    for url, response in result.responses.items():
+        if scenario == FIRST_TIME:
+            if response.status != 200:
+                raise ExperimentError(f"{url}: status {response.status}")
+            if response.request_method == "GET" \
+                    and response.body != site.objects[url].body:
+                raise ExperimentError(f"{url}: body mismatch")
+        else:
+            if response.status not in (200, 304):
+                raise ExperimentError(f"{url}: status {response.status}")
+
+
+def run_repeated(mode: ProtocolMode, scenario: str,
+                 environment: NetworkEnvironment,
+                 profile: ServerProfile, *, runs: int = 5,
+                 seeds: Optional[Sequence[int]] = None,
+                 **kwargs) -> AveragedResult:
+    """Average ``runs`` seeded runs, as the paper's tables do."""
+    seeds = seeds if seeds is not None else range(runs)
+    return AveragedResult([
+        run_experiment(mode, scenario, environment, profile, seed=seed,
+                       **kwargs)
+        for seed in seeds])

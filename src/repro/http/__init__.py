@@ -1,0 +1,50 @@
+"""HTTP/1.0 and HTTP/1.1 message layer.
+
+Byte-exact message objects, incremental stream parsers (pipelining
+splits messages across TCP segments arbitrarily), header collections,
+chunked transfer coding, content codings (deflate/gzip), client caching
+with ETag / Last-Modified validators, and byte ranges with ``If-Range``.
+
+Shared by the simulated clients/servers (:mod:`repro.client`,
+:mod:`repro.server`) and the real-socket ones (:mod:`repro.realnet`).
+"""
+
+from .cache import (CacheEntry, MemoryCache, TwoFileDiskCache,
+                    is_not_modified)
+from .chunked import ChunkedDecoder, encode_chunked, iter_chunks
+from .compact import (DeltaStreamDecoder, DeltaStreamEncoder, compact_ratio,
+                      decode_varint, encode_varint)
+from .coding import (accepted_codings, choose_coding, compression_ratio,
+                     decode_body, deflate_decode, deflate_encode,
+                     encode_body, gzip_decode, gzip_encode)
+from .dates import PAPER_EPOCH, format_http_date, parse_http_date
+from .delta import (DELTA_IM_TOKEN, apply_delta, apply_delta_response,
+                    encode_delta, wants_delta)
+from .headers import Headers
+from .messages import (HTTP10, HTTP11, Request, Response, STATUS_REASONS,
+                       version_string)
+from .parser import ParseError, RequestParser, ResponseParser
+from .ranges import (ByteRange, MULTIPART_BOUNDARY, apply_range,
+                     content_range, encode_multipart_byteranges,
+                     if_range_matches, parse_multipart_byteranges,
+                     parse_range_header)
+
+__all__ = [
+    "CacheEntry", "MemoryCache", "TwoFileDiskCache", "is_not_modified",
+    "ChunkedDecoder", "encode_chunked", "iter_chunks",
+    "DeltaStreamDecoder", "DeltaStreamEncoder", "compact_ratio",
+    "decode_varint", "encode_varint",
+    "accepted_codings", "choose_coding", "compression_ratio",
+    "decode_body", "deflate_decode", "deflate_encode", "encode_body",
+    "gzip_decode", "gzip_encode",
+    "PAPER_EPOCH", "format_http_date", "parse_http_date",
+    "DELTA_IM_TOKEN", "apply_delta", "apply_delta_response",
+    "encode_delta", "wants_delta",
+    "Headers",
+    "HTTP10", "HTTP11", "Request", "Response", "STATUS_REASONS",
+    "version_string",
+    "ParseError", "RequestParser", "ResponseParser",
+    "ByteRange", "MULTIPART_BOUNDARY", "apply_range", "content_range",
+    "encode_multipart_byteranges", "if_range_matches",
+    "parse_multipart_byteranges", "parse_range_header",
+]

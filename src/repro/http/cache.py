@@ -1,0 +1,228 @@
+"""Client-side HTTP caching with validators.
+
+The revalidation test — the paper's "common operation in the Web,
+revisiting a page cached locally" — depends on this machinery:
+
+* HTTP/1.1 supports two validators: **entity tags** (guaranteed-unique
+  opaque tags, sent back in ``If-None-Match``) and **date stamps**
+  (``Last-Modified`` / ``If-Modified-Since``).  HTTP/1.0 only has dates.
+* The HTTP/1.1 robot issues 43 Conditional GETs and receives 304s.
+* The paper's libwww persistent cache stored each object as *two files*
+  (headers and body), which became a measurable bottleneck; the final
+  runs used a memory filesystem.  Both cache backends are provided:
+  :class:`MemoryCache` and the deliberately libwww-like
+  :class:`TwoFileDiskCache`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .dates import format_http_date, parse_http_date
+from .headers import Headers
+from .messages import Response
+
+__all__ = ["CacheEntry", "MemoryCache", "TwoFileDiskCache"]
+
+
+class CacheEntry:
+    """One cached object with its validators."""
+
+    def __init__(self, url: str, body: bytes, headers: Headers) -> None:
+        self.url = url
+        self.body = body
+        self.headers = headers
+
+    @property
+    def etag(self) -> Optional[str]:
+        """The stored entity tag, if the server sent one."""
+        return self.headers.get("ETag")
+
+    @property
+    def last_modified(self) -> Optional[str]:
+        """The stored Last-Modified date, if the server sent one."""
+        return self.headers.get("Last-Modified")
+
+    @property
+    def content_type(self) -> Optional[str]:
+        return self.headers.get("Content-Type")
+
+
+class MemoryCache:
+    """An in-memory client cache keyed by request URL.
+
+    This models the paper's final configuration ("a persistent cache on
+    a memory file system").
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, CacheEntry] = {}
+        #: Counters for test assertions.
+        self.hits = 0
+        self.validations = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    # Store / fetch
+    # ------------------------------------------------------------------
+    def store(self, url: str, response: Response) -> Optional[CacheEntry]:
+        """Cache a successful response; returns the entry (or None)."""
+        if response.status != 200:
+            return None
+        entry = CacheEntry(url, response.body, response.headers.copy())
+        self._write(entry)
+        self.updates += 1
+        return entry
+
+    def get(self, url: str) -> Optional[CacheEntry]:
+        """Look up a cached entry."""
+        entry = self._read(url)
+        if entry is not None:
+            self.hits += 1
+        return entry
+
+    def __contains__(self, url: str) -> bool:
+        return self._read(url) is not None
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.urls())
+
+    def urls(self) -> Iterator[str]:
+        """All cached URLs."""
+        return iter(list(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (the 'first visit' precondition)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Validation protocol
+    # ------------------------------------------------------------------
+    def conditional_headers(self, url: str, http11: bool = True,
+                            date_fallback: bool = False
+                            ) -> List[Tuple[str, str]]:
+        """Validator headers for a Conditional GET of ``url``.
+
+        HTTP/1.1 prefers the entity tag (``If-None-Match``); HTTP/1.0
+        can only use ``If-Modified-Since``.  ``date_fallback`` uses the
+        stored response ``Date`` when no ``Last-Modified`` was sent — a
+        heuristic 1990s browsers (Navigator among them) applied so they
+        could still validate against servers that omitted file dates.
+        """
+        entry = self._read(url)
+        if entry is None:
+            return []
+        headers: List[Tuple[str, str]] = []
+        if http11 and entry.etag:
+            headers.append(("If-None-Match", entry.etag))
+        elif entry.last_modified:
+            headers.append(("If-Modified-Since", entry.last_modified))
+        elif date_fallback:
+            date = entry.headers.get("Date")
+            if date:
+                headers.append(("If-Modified-Since", date))
+        return headers
+
+    def handle_response(self, url: str, response: Response) -> bytes:
+        """Reconcile a validation response with the cache.
+
+        304 ⇒ the cached body is current (returns it); 200 ⇒ replaces
+        the entry.  Other statuses leave the cache untouched.
+        """
+        if response.status == 304:
+            self.validations += 1
+            entry = self._read(url)
+            if entry is None:
+                raise KeyError(f"304 for uncached url {url}")
+            return entry.body
+        if response.status == 200:
+            self.store(url, response)
+            return response.body
+        return response.body
+
+    # ------------------------------------------------------------------
+    # Backend hooks (overridden by the disk cache)
+    # ------------------------------------------------------------------
+    def _write(self, entry: CacheEntry) -> None:
+        self._entries[entry.url] = entry
+
+    def _read(self, url: str) -> Optional[CacheEntry]:
+        return self._entries.get(url)
+
+
+class TwoFileDiskCache(MemoryCache):
+    """A libwww-style persistent cache: two files per object.
+
+    The paper: "Each cached object contains two independent files: one
+    containing the cacheable message headers and the other containing
+    the message body.  ...the overhead in our implementation became a
+    performance bottleneck."  This backend reproduces that layout so the
+    bottleneck is demonstrable (see the flush-policy ablation tests).
+    """
+
+    def __init__(self, root: str) -> None:
+        super().__init__()
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        #: File operations performed, for overhead accounting.
+        self.file_operations = 0
+
+    def _paths(self, url: str) -> Tuple[str, str]:
+        safe = url.strip("/").replace("/", "_") or "_root"
+        return (os.path.join(self.root, safe + ".headers"),
+                os.path.join(self.root, safe + ".body"))
+
+    def _write(self, entry: CacheEntry) -> None:
+        header_path, body_path = self._paths(entry.url)
+        with open(header_path, "wb") as handle:
+            handle.write(entry.headers.to_bytes())
+        with open(body_path, "wb") as handle:
+            handle.write(entry.body)
+        self.file_operations += 2
+
+    def _read(self, url: str) -> Optional[CacheEntry]:
+        header_path, body_path = self._paths(url)
+        if not (os.path.exists(header_path) and os.path.exists(body_path)):
+            return None
+        with open(header_path, "rb") as handle:
+            header_block = handle.read().decode("latin-1")
+        with open(body_path, "rb") as handle:
+            body = handle.read()
+        self.file_operations += 2
+        lines = [ln for ln in header_block.split("\r\n") if ln]
+        return CacheEntry(url, body, Headers.from_lines(lines))
+
+    def urls(self) -> Iterator[str]:
+        for name in sorted(os.listdir(self.root)):
+            if name.endswith(".body"):
+                yield "/" + name[:-len(".body")].replace("_", "/")
+
+    def clear(self) -> None:
+        for name in os.listdir(self.root):
+            os.unlink(os.path.join(self.root, name))
+
+
+def is_not_modified(entry_etag: Optional[str],
+                    entry_date: Optional[str],
+                    if_none_match: Optional[str],
+                    if_modified_since: Optional[str]) -> bool:
+    """Server-side validation check (RFC 2068 §14.25 / §14.26).
+
+    Entity tags take precedence over dates when both are present.
+    """
+    if if_none_match is not None:
+        if if_none_match.strip() == "*":
+            return True
+        candidates = [tag.strip() for tag in if_none_match.split(",")]
+        return entry_etag is not None and entry_etag in candidates
+    if if_modified_since is not None and entry_date is not None:
+        since = parse_http_date(if_modified_since)
+        modified = parse_http_date(entry_date)
+        if since is not None and modified is not None:
+            return modified <= since
+    return False
+
+
+__all__.append("is_not_modified")
+__all__.append("format_http_date")

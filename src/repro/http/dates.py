@@ -1,0 +1,39 @@
+"""HTTP date handling (RFC 1123 format, plus the legacy forms).
+
+Cache validation with ``If-Modified-Since`` / ``Last-Modified`` — the
+only validator HTTP/1.0 supports, as the paper notes — needs real date
+headers.  Simulated time is seconds since an arbitrary epoch; dates are
+rendered in the mandatory RFC 1123 fixed-length format.
+"""
+
+from __future__ import annotations
+
+import calendar
+import time
+from typing import Optional
+
+__all__ = ["format_http_date", "parse_http_date", "PAPER_EPOCH"]
+
+#: An arbitrary but fitting epoch for simulated timestamps:
+#: 1997-06-24 00:00:00 UTC, the date of the W3C NOTE.
+PAPER_EPOCH = calendar.timegm((1997, 6, 24, 0, 0, 0, 0, 0, 0))
+
+_RFC1123 = "%a, %d %b %Y %H:%M:%S GMT"
+_RFC850 = "%A, %d-%b-%y %H:%M:%S GMT"
+_ASCTIME = "%a %b %d %H:%M:%S %Y"
+
+
+def format_http_date(epoch_seconds: float) -> str:
+    """Render an epoch timestamp as an RFC 1123 HTTP-date."""
+    return time.strftime(_RFC1123, time.gmtime(epoch_seconds))
+
+
+def parse_http_date(text: str) -> Optional[float]:
+    """Parse any of the three HTTP-date forms; None if unparseable."""
+    text = text.strip()
+    for fmt in (_RFC1123, _RFC850, _ASCTIME):
+        try:
+            return float(calendar.timegm(time.strptime(text, fmt)))
+        except ValueError:
+            continue
+    return None

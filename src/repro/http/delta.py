@@ -1,0 +1,82 @@
+"""Delta encoding of changed resources (paper reference [26]).
+
+The paper cites Mogul, Douglis, Feldmann & Krishnamurthy, "Potential
+benefits of delta-encoding and data compression for HTTP" (SIGCOMM
+'97), as the companion direction to its transport-compression work:
+when a cached page *changed*, don't send the new version — send the
+difference against the version the client already holds.
+
+This module implements the idiom end to end (the mechanism later
+standardized as RFC 3229):
+
+* the client revalidates with ``If-None-Match`` plus ``A-IM:
+  repro-delta``, naming the instance it holds;
+* an unchanged resource still yields 304;
+* a changed resource whose old instance the server retains yields
+  **226 IM Used** with ``IM: repro-delta`` and ``Delta-Base`` naming
+  the base entity tag, carrying a copy/insert delta
+  (:mod:`repro.http.compact`'s opcode stream) instead of the body;
+* anything else falls back to a full 200.
+
+:func:`encode_delta` / :func:`apply_delta` are the codec;
+server-side negotiation lives in :mod:`repro.server.static` and the
+client-side helper is :func:`apply_delta_response`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cache import CacheEntry
+from .compact import DeltaStreamDecoder, DeltaStreamEncoder
+from .messages import Response
+
+__all__ = ["DELTA_IM_TOKEN", "encode_delta", "apply_delta",
+           "wants_delta", "apply_delta_response"]
+
+#: The instance-manipulation token this implementation negotiates.
+DELTA_IM_TOKEN = "repro-delta"
+
+
+def encode_delta(old: bytes, new: bytes) -> bytes:
+    """Encode ``new`` as a delta against ``old``."""
+    encoder = DeltaStreamEncoder()
+    encoder._previous = old
+    return encoder.encode(new)
+
+
+def apply_delta(old: bytes, delta: bytes) -> bytes:
+    """Reconstruct the new instance from ``old`` plus ``delta``."""
+    decoder = DeltaStreamDecoder()
+    decoder._previous = old
+    messages = decoder.feed(delta)
+    if len(messages) != 1:
+        raise ValueError("delta did not decode to exactly one instance")
+    return messages[0]
+
+
+def wants_delta(headers) -> bool:
+    """Did the request advertise delta support (``A-IM`` header)?"""
+    return any(DELTA_IM_TOKEN in value
+               for value in headers.get_all("A-IM"))
+
+
+def apply_delta_response(entry: Optional[CacheEntry],
+                         response: Response) -> bytes:
+    """Client side: turn a 226 (or plain) response into entity bytes.
+
+    ``entry`` is the cached instance the conditional request was made
+    with; for a 226 its body is the delta base.
+    """
+    if response.status != 226:
+        return response.body
+    if entry is None:
+        raise ValueError("226 received without a cached base instance")
+    base_tag = response.headers.get("Delta-Base")
+    if base_tag is not None and entry.etag is not None \
+            and base_tag != entry.etag:
+        raise ValueError(
+            f"delta base {base_tag} does not match cached {entry.etag}")
+    if response.headers.get("IM") != DELTA_IM_TOKEN:
+        raise ValueError("226 with an unsupported instance manipulation")
+    return apply_delta(entry.body, response.body)

@@ -1,0 +1,145 @@
+"""Ordered, case-insensitive HTTP header collection.
+
+HTTP field names are case-insensitive (RFC 2068 §4.2) but the paper's
+byte counts depend on exactly what goes on the wire, so :class:`Headers`
+preserves the original spelling and ordering for serialization while
+matching case-insensitively for lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["Headers"]
+
+
+class Headers:
+    """An ordered multimap of HTTP header fields.
+
+    >>> h = Headers([("Host", "www26.w3.org")])
+    >>> h.set("Accept-Encoding", "deflate")
+    >>> h.get("accept-encoding")
+    'deflate'
+    >>> "HOST" in h
+    True
+    """
+
+    def __init__(self,
+                 items: Optional[Iterable[Tuple[str, str]]] = None) -> None:
+        self._items: List[Tuple[str, str]] = []
+        if items:
+            for name, value in items:
+                self.add(name, value)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: str) -> None:
+        """Append a field, keeping any existing fields of the same name."""
+        self._items.append((name, str(value)))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all fields named ``name`` with a single field."""
+        self.remove(name)
+        self.add(name, value)
+
+    def remove(self, name: str) -> int:
+        """Remove all fields named ``name``; returns how many were removed."""
+        lowered = name.lower()
+        before = len(self._items)
+        self._items = [(n, v) for n, v in self._items
+                       if n.lower() != lowered]
+        return before - len(self._items)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """First value of field ``name``, or ``default``."""
+        lowered = name.lower()
+        for field_name, value in self._items:
+            if field_name.lower() == lowered:
+                return value
+        return default
+
+    def get_all(self, name: str) -> List[str]:
+        """All values of field ``name`` in order."""
+        lowered = name.lower()
+        return [v for n, v in self._items if n.lower() == lowered]
+
+    def get_int(self, name: str) -> Optional[int]:
+        """Integer value of field ``name``, or None if absent/invalid."""
+        value = self.get(name)
+        if value is None:
+            return None
+        try:
+            return int(value.strip())
+        except ValueError:
+            return None
+
+    def contains_token(self, name: str, token: str) -> bool:
+        """True if a comma-separated field contains ``token`` (case-insensitive).
+
+        Used for e.g. ``Connection: keep-alive`` and
+        ``Accept-Encoding: deflate`` checks.
+        """
+        token = token.lower()
+        for value in self.get_all(name):
+            for part in value.split(","):
+                if part.strip().lower() == token:
+                    return True
+        return False
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._items)
+
+    def items(self) -> List[Tuple[str, str]]:
+        """All (name, value) pairs in serialization order."""
+        return list(self._items)
+
+    def copy(self) -> "Headers":
+        """A shallow copy preserving order and spelling."""
+        return Headers(self._items)
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Serialize as ``Name: value\\r\\n`` lines (no terminating blank)."""
+        return b"".join(f"{n}: {v}\r\n".encode("latin-1")
+                        for n, v in self._items)
+
+    @classmethod
+    def from_lines(cls, lines: Iterable[str]) -> "Headers":
+        """Parse header lines (without the terminating blank line).
+
+        Handles RFC 2068 continuation lines (leading whitespace folds
+        into the previous field).
+        """
+        headers = cls()
+        for line in lines:
+            if not line:
+                continue
+            if line[0] in " \t" and headers._items:
+                name, value = headers._items[-1]
+                headers._items[-1] = (name, value + " " + line.strip())
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                raise ValueError(f"malformed header line: {line!r}")
+            headers.add(name.strip(), value.strip())
+        return headers
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Headers):
+            return NotImplemented
+        return self._items == other._items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Headers({self._items!r})"

@@ -1,0 +1,138 @@
+"""HTTP request and response message objects.
+
+Both HTTP/1.0 (RFC 1945) and HTTP/1.1 (RFC 2068) messages are modelled.
+Serialization is byte-exact — the paper's Bytes column and its
+observation that the libwww robot's requests average ~190 bytes both
+depend on real wire sizes, so nothing here is approximated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from .headers import Headers
+
+__all__ = ["Request", "Response", "HTTP10", "HTTP11", "version_string",
+           "STATUS_REASONS"]
+
+#: Protocol version constants.
+HTTP10: Tuple[int, int] = (1, 0)
+HTTP11: Tuple[int, int] = (1, 1)
+
+#: Reason phrases for the status codes this reproduction uses.
+STATUS_REASONS = {
+    200: "OK",
+    204: "No Content",
+    206: "Partial Content",
+    226: "IM Used",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    412: "Precondition Failed",
+    416: "Requested Range Not Satisfiable",
+    500: "Internal Server Error",
+    505: "HTTP Version Not Supported",
+}
+
+
+def version_string(version: Tuple[int, int]) -> str:
+    """Format a version tuple as e.g. ``HTTP/1.1``."""
+    return f"HTTP/{version[0]}.{version[1]}"
+
+
+def parse_version(text: str) -> Tuple[int, int]:
+    """Parse ``HTTP/x.y`` into a version tuple."""
+    if not text.startswith("HTTP/"):
+        raise ValueError(f"bad HTTP version: {text!r}")
+    major, sep, minor = text[5:].partition(".")
+    if not sep:
+        raise ValueError(f"bad HTTP version: {text!r}")
+    return int(major), int(minor)
+
+
+@dataclasses.dataclass
+class Request:
+    """An HTTP request.
+
+    ``target`` is the request-URI path (this study always talks to a
+    single origin server, so absolute URIs are not needed).
+    """
+
+    method: str
+    target: str
+    version: Tuple[int, int] = HTTP11
+    headers: Headers = dataclasses.field(default_factory=Headers)
+    body: bytes = b""
+
+    def to_bytes(self) -> bytes:
+        """Exact wire serialization."""
+        request_line = (f"{self.method} {self.target} "
+                        f"{version_string(self.version)}\r\n")
+        return (request_line.encode("latin-1") + self.headers.to_bytes()
+                + b"\r\n" + self.body)
+
+    @property
+    def wire_length(self) -> int:
+        """Number of bytes this request occupies on the wire."""
+        return len(self.to_bytes())
+
+    def wants_keep_alive(self) -> bool:
+        """Whether the client asked for / defaults to a persistent connection."""
+        if self.version >= HTTP11:
+            return not self.headers.contains_token("Connection", "close")
+        return self.headers.contains_token("Connection", "keep-alive")
+
+    def is_conditional(self) -> bool:
+        """True for cache-validation requests."""
+        return ("If-None-Match" in self.headers
+                or "If-Modified-Since" in self.headers)
+
+
+@dataclasses.dataclass
+class Response:
+    """An HTTP response.
+
+    ``request_method`` records the method of the request being answered,
+    which determines whether the response carries a body on the wire
+    (HEAD and 304/204 responses never do).
+    """
+
+    status: int
+    version: Tuple[int, int] = HTTP11
+    headers: Headers = dataclasses.field(default_factory=Headers)
+    body: bytes = b""
+    reason: Optional[str] = None
+    request_method: str = "GET"
+
+    @property
+    def reason_phrase(self) -> str:
+        """The reason phrase, defaulting from the status code."""
+        if self.reason is not None:
+            return self.reason
+        return STATUS_REASONS.get(self.status, "Unknown")
+
+    def body_on_wire(self) -> bytes:
+        """The entity bytes actually transmitted."""
+        if self.request_method == "HEAD" or self.status in (204, 304):
+            return b""
+        return self.body
+
+    def to_bytes(self) -> bytes:
+        """Exact wire serialization."""
+        status_line = (f"{version_string(self.version)} {self.status} "
+                       f"{self.reason_phrase}\r\n")
+        return (status_line.encode("latin-1") + self.headers.to_bytes()
+                + b"\r\n" + self.body_on_wire())
+
+    @property
+    def wire_length(self) -> int:
+        """Number of bytes this response occupies on the wire."""
+        return len(self.to_bytes())
+
+    def allows_keep_alive(self) -> bool:
+        """Whether the connection may carry further requests."""
+        if self.version >= HTTP11:
+            return not self.headers.contains_token("Connection", "close")
+        return self.headers.contains_token("Connection", "keep-alive")

@@ -1,0 +1,13 @@
+"""Real-socket HTTP implementations (localhost integration layer).
+
+The simulator measures packets; this package proves the protocol code
+runs over genuine TCP: a threaded :class:`RealHttpServer` serving the
+same resource stores with the same response logic, and a pipelining
+:class:`RealHttpClient` sharing the robot's parser, cache and deflate
+handling.
+"""
+
+from .client import RealHttpClient
+from .server import RealHttpServer
+
+__all__ = ["RealHttpClient", "RealHttpServer"]

@@ -1,0 +1,190 @@
+"""A real-socket HTTP client with persistent connections and pipelining.
+
+The blocking counterpart of the simulated robot, for localhost
+integration tests and demos: one TCP connection, requests optionally
+batched into a single write (pipelining), responses parsed with the
+same incremental :class:`~repro.http.parser.ResponseParser`, validators
+and deflate handled like the robot does.
+"""
+
+from __future__ import annotations
+
+import socket
+import zlib
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..http import (HTTP11, Headers, MemoryCache, Request, Response,
+                    ResponseParser)
+
+__all__ = ["RealHttpClient"]
+
+
+class RealHttpClient:
+    """A persistent-connection HTTP client over real sockets.
+
+    >>> client = RealHttpClient(host, port)           # doctest: +SKIP
+    >>> response = client.get("/home.html")           # doctest: +SKIP
+    >>> responses = client.pipeline(["/a.gif", "/b.gif"])  # doctest: +SKIP
+    """
+
+    def __init__(self, host: str, port: int, *,
+                 user_agent: str = "repro-realnet/1.0",
+                 timeout: float = 5.0,
+                 cache: Optional[MemoryCache] = None) -> None:
+        self.host = host
+        self.port = port
+        self.user_agent = user_agent
+        self.timeout = timeout
+        self.cache = cache if cache is not None else MemoryCache()
+        self._socket: Optional[socket.socket] = None
+        self._parser = ResponseParser()
+        #: Connections opened over this client's lifetime.
+        self.connections_opened = 0
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        if self._socket is None:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._socket = sock
+            self._parser = ResponseParser()
+            self.connections_opened += 1
+        return self._socket
+
+    def close(self) -> None:
+        """Close the persistent connection (if open)."""
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    def __enter__(self) -> "RealHttpClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def build_request(self, url: str, *, method: str = "GET",
+                      conditional: bool = False,
+                      accept_deflate: bool = False,
+                      accept_delta: bool = False,
+                      headers: Iterable[Tuple[str, str]] = ()) -> Request:
+        """Construct a request like the tuned robot would.
+
+        ``accept_delta`` advertises delta support (``A-IM``) alongside
+        the conditional validator: an unchanged resource costs a 304, a
+        changed one costs only its difference (226 IM Used).
+        """
+        header_list = Headers([("Host", f"{self.host}:{self.port}"),
+                               ("User-Agent", self.user_agent),
+                               ("Accept", "*/*")])
+        for name, value in headers:
+            header_list.add(name, value)
+        if accept_deflate:
+            header_list.add("Accept-Encoding", "deflate")
+        if conditional or accept_delta:
+            for name, value in self.cache.conditional_headers(url):
+                header_list.add(name, value)
+        if accept_delta:
+            from ..http.delta import DELTA_IM_TOKEN
+            header_list.add("A-IM", DELTA_IM_TOKEN)
+        return Request(method, url, HTTP11, header_list)
+
+    def get(self, url: str, **kwargs) -> Response:
+        """One GET over the persistent connection."""
+        return self.request(self.build_request(url, **kwargs))
+
+    def request(self, request: Request) -> Response:
+        """Send one request and read its response."""
+        return self.pipeline_requests([request])[0]
+
+    def pipeline(self, urls: Sequence[str], **kwargs) -> List[Response]:
+        """Pipeline GETs for ``urls`` in one batched write."""
+        return self.pipeline_requests(
+            [self.build_request(url, **kwargs) for url in urls])
+
+    def pipeline_requests(self,
+                          requests: Sequence[Request]) -> List[Response]:
+        """Send all ``requests`` back to back, then collect responses.
+
+        If the server closes mid-pipeline (e.g. a request cap), the
+        remaining requests are re-issued on a fresh connection — the
+        same recovery the simulated robot implements.
+        """
+        pending = list(requests)
+        responses: List[Response] = []
+        attempts = 0
+        while pending:
+            attempts += 1
+            if attempts > len(requests) + 4:
+                raise ConnectionError("server keeps closing mid-pipeline")
+            sock = self._connect()
+            for request in pending:
+                self._parser.expect(request.method)
+            sock.sendall(b"".join(r.to_bytes() for r in pending))
+            got = self._read_responses(len(pending))
+            for request, response in zip(pending, got):
+                responses.append(self._postprocess(request, response))
+            pending = pending[len(got):]
+            if pending:
+                self.close()    # retry leftovers on a new connection
+        return responses
+
+    def _read_responses(self, expected: int) -> List[Response]:
+        assert self._socket is not None
+        out: List[Response] = []
+        closed = False
+        while len(out) < expected:
+            try:
+                data = self._socket.recv(65536)
+            except socket.timeout:
+                break
+            if not data:
+                final = self._parser.eof()
+                if final is not None:
+                    out.append(final)
+                closed = True
+                break
+            out.extend(self._parser.feed(data))
+        if closed or any(not r.allows_keep_alive() for r in out):
+            self.close()
+        return out
+
+    def _postprocess(self, request: Request,
+                     response: Response) -> Response:
+        if response.headers.get("Content-Encoding") == "deflate" \
+                and response.status == 200:
+            import dataclasses
+            response = dataclasses.replace(
+                response, body=zlib.decompress(response.body))
+            response.headers.remove("Content-Encoding")
+        if response.status == 226 and request.method == "GET":
+            import dataclasses
+            from ..http.delta import apply_delta_response
+            entry = self.cache.get(request.target)
+            body = apply_delta_response(entry, response)
+            headers = response.headers.copy()
+            headers.remove("IM")
+            headers.remove("Delta-Base")
+            headers.set("Content-Length", str(len(body)))
+            reconstructed = dataclasses.replace(
+                response, status=200, headers=headers, body=body,
+                reason="OK")
+            self.cache.store(request.target, reconstructed)
+            return dataclasses.replace(response, body=body)
+        if request.method == "GET":
+            if response.status == 304:
+                entry = self.cache.get(request.target)
+                if entry is not None:
+                    import dataclasses
+                    response = dataclasses.replace(response,
+                                                   body=entry.body)
+                self.cache.validations += 0   # counted in handle_response
+            elif response.status == 200:
+                self.cache.store(request.target, response)
+        return response

@@ -1,0 +1,182 @@
+"""A real-socket HTTP/1.0 + HTTP/1.1 server.
+
+The simulated server (:mod:`repro.server`) produces the paper's packet
+counts; this one serves the same :class:`~repro.server.static.ResourceStore`
+with the same response-construction logic over genuine TCP sockets, so
+the protocol implementation can be exercised end to end on localhost —
+persistent connections, pipelining, validators, ranges, deflate, and
+the careful half-close discipline, with ``TCP_NODELAY`` set as the
+paper recommends.
+
+Threading model: one accept thread plus one thread per connection
+(entirely adequate for tests and demos; the 1997 servers were similar).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Tuple
+
+from ..http import (HTTP11, ParseError, RequestParser, Response,
+                    format_http_date)
+from ..server.profiles import APACHE, ServerProfile
+from ..server.static import ResourceStore, build_response
+
+import time
+
+__all__ = ["RealHttpServer"]
+
+
+class RealHttpServer:
+    """Serve a resource store over real sockets.
+
+    Usage::
+
+        with RealHttpServer(store) as server:
+            client = RealHttpClient(*server.address)
+            ...
+
+    Parameters mirror the simulated server where meaningful; CPU-cost
+    modelling does not apply here.
+    """
+
+    def __init__(self, store: ResourceStore,
+                 profile: ServerProfile = APACHE,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.store = store
+        self.profile = profile
+        self._listen_address = (host, port)
+        self._socket: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._running = False
+        self._lock = threading.Lock()
+        #: Statistics (guarded by _lock).
+        self.requests_served = 0
+        self.connections_accepted = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RealHttpServer":
+        """Bind, listen and start accepting."""
+        if self._running:
+            raise RuntimeError("server already running")
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._socket.bind(self._listen_address)
+        self._socket.listen(16)
+        self._socket.settimeout(0.2)
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-http-accept",
+            daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and close the listening socket."""
+        self._running = False
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    def __enter__(self) -> "RealHttpServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port)."""
+        if self._socket is None:
+            raise RuntimeError("server not started")
+        return self._socket.getsockname()
+
+    # ------------------------------------------------------------------
+    # Accepting and serving
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._socket is not None
+        while self._running:
+            try:
+                conn, _peer = self._socket.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            with self._lock:
+                self.connections_accepted += 1
+            thread = threading.Thread(target=self._serve_connection,
+                                      args=(conn,), daemon=True)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY,
+                        1 if self.profile.nodelay else 0)
+        conn.settimeout(5.0)
+        parser = RequestParser()
+        requests_seen = 0
+        try:
+            while True:
+                try:
+                    data = conn.recv(65536)
+                except socket.timeout:
+                    break
+                if not data:
+                    break
+                try:
+                    requests = parser.feed(data)
+                except ParseError:
+                    from ..http import Headers
+                    conn.sendall(Response(
+                        400, (1, 0), Headers([("Content-Length", "0")]),
+                        request_method="GET").to_bytes())
+                    break
+                # Aggregate every response for this batch of pipelined
+                # requests into one send (the paper's server-side
+                # response buffering).
+                out = bytearray()
+                close_after = False
+                for request in requests:
+                    requests_seen += 1
+                    response = build_response(
+                        self.store, request, self.profile,
+                        date_header=format_http_date(time.time()))
+                    limit = self.profile.max_requests_per_connection
+                    at_limit = (limit is not None
+                                and requests_seen >= limit)
+                    if request.version >= HTTP11:
+                        keep = request.wants_keep_alive() and not at_limit
+                        if not keep:
+                            response.headers.add("Connection", "close")
+                    else:
+                        keep = request.wants_keep_alive() and not at_limit
+                        if keep:
+                            response.headers.add("Connection",
+                                                 "Keep-Alive")
+                    out.extend(response.to_bytes())
+                    with self._lock:
+                        self.requests_served += 1
+                    if not keep:
+                        close_after = True
+                        break
+                if out:
+                    conn.sendall(bytes(out))
+                if close_after:
+                    # Careful close: shut down the send side only, then
+                    # drain the receive side so late pipelined requests
+                    # are ACKed rather than RST.
+                    conn.shutdown(socket.SHUT_WR)
+                    try:
+                        while conn.recv(65536):
+                            pass
+                    except OSError:
+                        pass
+                    break
+        finally:
+            conn.close()

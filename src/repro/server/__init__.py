@@ -1,0 +1,23 @@
+"""HTTP servers: Jigsaw- and Apache-like static servers on the simulator.
+
+:class:`~repro.server.base.SimHttpServer` implements the server-side
+behaviours the paper identifies as performance-critical — response
+buffering with flush-on-idle, serial CPU, careful half-close,
+TCP_NODELAY — parameterized by :class:`~repro.server.profiles.ServerProfile`
+(Jigsaw 1.06, Apache 1.2b10, and the Apache 1.2b2 / naive-close
+ablations).
+"""
+
+from .base import SimHttpServer
+from .profiles import (APACHE, APACHE_12B2, JIGSAW, JIGSAW_INITIAL,
+                       NAGLE_STALL_SERVER, NAIVE_CLOSE_SERVER,
+                       ServerProfile)
+from .static import Resource, ResourceStore, build_response
+
+__all__ = [
+    "SimHttpServer",
+    "APACHE", "APACHE_12B2", "JIGSAW", "JIGSAW_INITIAL",
+    "NAIVE_CLOSE_SERVER", "NAGLE_STALL_SERVER",
+    "ServerProfile",
+    "Resource", "ResourceStore", "build_response",
+]

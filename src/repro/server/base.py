@@ -1,0 +1,252 @@
+"""The simulated HTTP server: connection handling and response buffering.
+
+Implements the server-side lessons of the paper:
+
+* **Response buffering** — "For each connection, the server maintains a
+  response buffer that it flushes either when full, or when there is no
+  more requests coming in on that connection, or before it goes idle.
+  This buffering enables aggregating responses (for example, cache
+  validation responses) into fewer packets even on a high-speed
+  network."  The per-connection buffer here flushes on exactly those
+  triggers.
+* **Serial CPU** — the paper's single-CPU Ultra-1 serialized request
+  processing across connections; so does :class:`SimHttpServer`, which
+  is what makes HTTP/1.0's four parallel connections pay the same total
+  CPU while adding per-connection overhead.
+* **Careful close** — half-close by default (stop sending, keep ACKing
+  client data); the naive both-halves close that RSTs pipelined clients
+  is available via :data:`~repro.server.profiles.NAIVE_CLOSE_SERVER`.
+* **TCP_NODELAY** — buffering implementations must disable Nagle; the
+  profile controls it so the Nagle ablation can turn it back on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..http import (HTTP10, HTTP11, Headers, ParseError, Request,
+                    RequestParser, Response, PAPER_EPOCH,
+                    format_http_date)
+from ..simnet.engine import Simulator
+from ..simnet.tcp import TcpConnection, TcpStack
+from .profiles import ServerProfile
+from .static import ResourceStore, build_response
+
+__all__ = ["SimHttpServer"]
+
+
+class _ServerConnection:
+    """Per-connection server state."""
+
+    def __init__(self, server: "SimHttpServer",
+                 conn: TcpConnection) -> None:
+        self.server = server
+        self.conn = conn
+        self.parser = RequestParser()
+        self.out = bytearray()
+        self.requests_seen = 0
+        self.responses_queued = 0       # built but CPU not finished
+        self.responses_sent = 0
+        self.eof_received = False
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def on_data(self, _conn: TcpConnection, data: bytes) -> None:
+        if self.closed:
+            return
+        try:
+            requests = self.parser.feed(data)
+        except ParseError:
+            self.server._send_error(self, 400)
+            return
+        for request in requests:
+            self.requests_seen += 1
+            self.responses_queued += 1
+            self.server._dispatch(self, request)
+
+    def on_eof(self, _conn: TcpConnection) -> None:
+        self.eof_received = True
+        if self.responses_queued == 0:
+            self.finish()
+
+    def on_reset(self, _conn: TcpConnection) -> None:
+        self.closed = True
+
+    # ------------------------------------------------------------------
+    def queue_bytes(self, payload: bytes) -> None:
+        """Append response bytes, applying the buffer-flush policy."""
+        if self.closed:
+            return
+        self.out.extend(payload)
+        profile = self.server.profile
+        if not profile.buffered:
+            self.flush()
+        elif len(self.out) >= profile.output_buffer_size:
+            self.flush()
+        elif self.responses_queued == 0:
+            # No more requests pending on this connection right now.
+            self.flush()
+
+    def flush(self, close: bool = False) -> None:
+        if self.out and not self.closed and self.conn.state != "CLOSED":
+            self.conn.send(bytes(self.out), close=close)
+            self.out.clear()
+        elif close and not self.closed and self.conn.state != "CLOSED":
+            self.conn.close()
+
+    def finish(self) -> None:
+        """Flush and close (per the profile's close discipline).
+
+        The FIN rides on the final data segment when possible.
+        """
+        if self.closed:
+            return
+        self.flush(close=True)
+        self.closed = True
+        if not self.server.profile.half_close \
+                and self.conn.state != "CLOSED":
+            self.conn.shutdown_receive()
+
+
+class SimHttpServer:
+    """An HTTP/1.0 + HTTP/1.1 static server on the simulated network.
+
+    Parameters
+    ----------
+    sim, stack:
+        Simulator and the host's TCP stack.
+    store:
+        The resources to serve.
+    profile:
+        Behavioural profile (Jigsaw / Apache / ablations).
+    port:
+        Listening port (default 80).
+    """
+
+    def __init__(self, sim: Simulator, stack: TcpStack,
+                 store: ResourceStore, profile: ServerProfile,
+                 port: int = 80) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.store = store
+        self.profile = profile
+        self.port = port
+        self._cpu_free_at = 0.0
+        #: Statistics for tests.
+        self.requests_served = 0
+        self.connections_accepted = 0
+        #: Total CPU-busy seconds consumed (the paper's future work:
+        #: "the CPU time savings of HTTP/1.1 ... could now be
+        #: quantified for Apache").
+        self.cpu_busy_seconds = 0.0
+        stack.listen(port, self._accept)
+
+    # ------------------------------------------------------------------
+    # CPU model: one serial processor
+    # ------------------------------------------------------------------
+    def _cpu_run(self, cost: float, callback: Callable[[], None]) -> None:
+        start = max(self.sim.now, self._cpu_free_at)
+        self._cpu_free_at = start + cost
+        self.cpu_busy_seconds += cost
+        self.sim.schedule_at(self._cpu_free_at, callback)
+
+    # ------------------------------------------------------------------
+    def _accept(self, conn: TcpConnection) -> None:
+        self.connections_accepted += 1
+        state = _ServerConnection(self, conn)
+        conn.set_nodelay(self.profile.nodelay)
+        conn.on_data = state.on_data
+        conn.on_eof = state.on_eof
+        conn.on_reset = state.on_reset
+        # Accepting a connection costs CPU (fork/thread dispatch).
+        self._cpu_free_at = max(self.sim.now, self._cpu_free_at) \
+            + self.profile.per_connection_cpu
+        self.cpu_busy_seconds += self.profile.per_connection_cpu
+
+    def _dispatch(self, state: _ServerConnection,
+                  request: Request) -> None:
+        response = build_response(
+            self.store, request, self.profile,
+            date_header=format_http_date(PAPER_EPOCH + self.sim.now))
+        self._apply_connection_headers(state, request, response)
+        cost = (self.profile.base_cpu
+                + len(response.body_on_wire()) * self.profile.cpu_per_byte)
+        close_after = self._should_close_after(state, request, response)
+        payload = response.to_bytes()
+        body = response.body_on_wire()
+        head = payload[:len(payload) - len(body)]
+
+        def emit() -> None:
+            state.responses_queued -= 1
+            state.responses_sent += 1
+            self.requests_served += 1
+            closing = close_after or (state.eof_received
+                                      and state.responses_queued == 0)
+            if closing and not self.profile.split_header_write:
+                # Append without triggering an intermediate flush so the
+                # FIN can ride on the final data segment.
+                if not state.closed:
+                    state.out.extend(payload)
+                state.finish()
+                return
+            if self.profile.split_header_write:
+                # Pre-tuning implementation shape: the status line,
+                # header block and body reach the socket as separate
+                # writes.  With Nagle enabled the later small writes
+                # stall until the first one is ACKed — and the peer is
+                # sitting on a delayed ACK.  This is the interaction
+                # the paper's "Nagle Interaction" section describes.
+                status_end = payload.find(b"\r\n") + 2
+                state.queue_bytes(payload[:status_end])
+                if body:
+                    state.queue_bytes(head[status_end:])
+                    state.queue_bytes(body)
+                else:
+                    state.queue_bytes(payload[status_end:])
+            else:
+                state.queue_bytes(payload)
+            if closing:
+                state.finish()
+
+        self._cpu_run(cost, emit)
+
+    def _apply_connection_headers(self, state: _ServerConnection,
+                                  request: Request,
+                                  response: Response) -> None:
+        limit = self.profile.max_requests_per_connection
+        closing = (limit is not None and state.requests_seen >= limit)
+        if (self.profile.close_keepalive_after_head
+                and request.method == "HEAD"
+                and request.version < HTTP11):
+            closing = True
+        if request.version >= HTTP11:
+            if closing or request.headers.contains_token("Connection",
+                                                         "close"):
+                response.headers.add("Connection", "close")
+        else:
+            keep = (request.headers.contains_token("Connection",
+                                                   "keep-alive")
+                    and not closing)
+            if keep:
+                response.headers.add("Connection", "Keep-Alive")
+
+    def _should_close_after(self, state: _ServerConnection,
+                            request: Request,
+                            response: Response) -> bool:
+        limit = self.profile.max_requests_per_connection
+        if limit is not None and state.requests_seen >= limit:
+            return True
+        if request.version >= HTTP11:
+            return request.headers.contains_token("Connection", "close")
+        if (self.profile.close_keepalive_after_head
+                and request.method == "HEAD"):
+            return True
+        return not request.headers.contains_token("Connection",
+                                                  "keep-alive")
+
+    def _send_error(self, state: _ServerConnection, status: int) -> None:
+        response = Response(status, HTTP10,
+                            Headers([("Content-Length", "0")]),
+                            request_method="GET")
+        state.queue_bytes(response.to_bytes())
+        state.finish()

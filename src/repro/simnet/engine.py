@@ -1,0 +1,159 @@
+"""Discrete-event simulation engine.
+
+The simulator provides a virtual clock and an event queue.  Everything in
+:mod:`repro.simnet` — links, TCP endpoints, application timers — runs on
+top of a single :class:`Simulator` instance.  Events fire in strict
+timestamp order; ties are broken by scheduling order, which makes every
+run fully deterministic (a property the paper's real testbed obviously
+lacked, and which we exploit heavily in tests).
+
+Example
+-------
+>>> sim = Simulator()
+>>> fired = []
+>>> _ = sim.schedule(1.5, fired.append, "a")
+>>> _ = sim.schedule(0.5, fired.append, "b")
+>>> sim.run()
+>>> fired
+['b', 'a']
+>>> sim.now
+1.5
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A handle for a scheduled callback.
+
+    Returned by :meth:`Simulator.schedule`; the only public operations are
+    :meth:`cancel` and the :attr:`cancelled` / :attr:`time` attributes.
+    Cancellation is O(1): the event is flagged and skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time:.6f} {name} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Attributes
+    ----------
+    now:
+        The current simulated time in seconds.  Starts at 0.0 and only
+        moves forward.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` may be zero (the event runs after all events already due
+        at the current time), but never negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} s in the past")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}")
+        event = Event(time, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> None:
+        """Run events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would fire after ``until``
+            and advance the clock to exactly ``until``.
+        max_events:
+            Safety valve against runaway simulations; exceeded ⇒
+            :class:`SimulationError`.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._queue and not self._stopped:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    self.now = until
+                    return
+                heapq.heappop(self._queue)
+                self.now = event.time
+                event.callback(*event.args)
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events; likely a livelock")
+            if until is not None and not self._stopped:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of scheduled, non-cancelled events (for tests)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now:.6f} pending={self.pending_events()}>"

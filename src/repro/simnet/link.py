@@ -1,0 +1,238 @@
+"""Duplex link model and the paper's three network environments.
+
+Table 1 of the paper defines the test matrix:
+
+===========================  ============================  =======  ====
+Channel                      Connection                    RTT      MSS
+===========================  ============================  =======  ====
+High bandwidth, low latency  LAN — 10 Mbit Ethernet        < 1 ms   1460
+High bandwidth, high latency WAN — MIT/LCS to LBL          ~ 90 ms  1460
+Low bandwidth, high latency  PPP — 28.8k modem             ~150 ms  1460
+===========================  ============================  =======  ====
+
+Each :class:`Link` direction is a FIFO serialization queue: a segment's
+delivery time is ``serialization_start + wire_bits/bandwidth +
+propagation_delay``.  All TCP connections between the two hosts share the
+link, so four parallel HTTP/1.0 connections compete for the same modem —
+exactly the effect the paper describes for dialup users.
+
+The PPP link transmits 10 bits per byte (async start/stop framing) and
+may carry a :class:`~repro.simnet.modem.ModemCompressor` pair modelling
+V.42bis data compression in the modem hardware.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Callable, Dict, Optional, Protocol, Tuple
+
+from .engine import Simulator
+from .packet import Segment
+
+__all__ = ["WireCompressor", "Link", "NetworkEnvironment", "ENVIRONMENTS",
+           "LAN", "WAN", "PPP"]
+
+
+class WireCompressor(Protocol):
+    """Compresses the byte stream of one link direction (modem-style).
+
+    Implementations are stateful: the dictionary built on earlier packets
+    affects later ones, as in V.42bis.  They return the number of bytes
+    that actually occupy the wire for a given payload.
+    """
+
+    def wire_bytes(self, payload: bytes) -> int:
+        """Return the on-the-wire size of ``payload`` after compression."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Link:
+    """A full-duplex point-to-point link between two named hosts.
+
+    Parameters
+    ----------
+    sim:
+        The simulator supplying the clock.
+    bandwidth_bps:
+        Raw line rate in bits per second (per direction).
+    propagation_delay:
+        One-way propagation delay in seconds.
+    bits_per_byte:
+        Effective line bits per payload byte: 8 for synchronous links,
+        ~8.3 for PPP over V.42 LAPM (HDLC framing between the modems),
+        10 for raw async start/stop framing.
+    jitter:
+        Fractional uniform jitter applied to each segment's transmission
+        time, e.g. 0.02 ⇒ ±2 %.  Drawn from ``rng`` so runs with the same
+        seed are reproducible.  Models the run-to-run variation the paper
+        averaged over five runs.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float,
+                 propagation_delay: float, *, bits_per_byte: float = 8,
+                 jitter: float = 0.0, loss_rate: float = 0.0,
+                 rng: Optional[random.Random] = None) -> None:
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if propagation_delay < 0:
+            raise ValueError("propagation delay cannot be negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss rate must be in [0, 1)")
+        self.sim = sim
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.propagation_delay = float(propagation_delay)
+        self.bits_per_byte = bits_per_byte
+        self.jitter = jitter
+        #: Independent per-segment drop probability (congested paths;
+        #: the paper's links were quiet, so the tables use 0).
+        self.loss_rate = loss_rate
+        #: Drop-tail bottleneck buffer in packets (None = unbounded).
+        #: A finite buffer makes congestion *self-induced*: senders that
+        #: burst (HTTP/1.0's parallel connections in slow start) drop
+        #: their own packets — the paper's "if these exchanges are too
+        #: fast for the route ... they contribute to Internet
+        #: congestion".
+        self.queue_limit_packets: Optional[int] = None
+        self.rng = rng or random.Random(0)
+        self._queued: Dict[Tuple[str, str], int] = {}
+        # Per-direction state, keyed by (src, dst).
+        self._next_free: Dict[Tuple[str, str], float] = {}
+        self._compressors: Dict[Tuple[str, str], WireCompressor] = {}
+        self._receivers: Dict[str, Callable[[Segment], None]] = {}
+        #: Observers called with each segment at *send* time (tracing).
+        self.taps: list = []
+        #: Segments dropped by the loss process.
+        self.segments_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, host: str, receiver: Callable[[Segment], None]) -> None:
+        """Register ``receiver`` to be called for segments addressed to ``host``."""
+        if host in self._receivers:
+            raise ValueError(f"host {host!r} already attached")
+        self._receivers[host] = receiver
+
+    def set_compressor(self, src: str, dst: str,
+                       compressor: WireCompressor) -> None:
+        """Install a modem-style stream compressor on the ``src → dst`` direction."""
+        self._compressors[(src, dst)] = compressor
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(self, segment: Segment) -> None:
+        """Queue ``segment`` for delivery to its destination host.
+
+        Segments in the same direction serialize FIFO at the line rate;
+        opposite directions are independent (full duplex).
+        """
+        if segment.dst not in self._receivers:
+            raise ValueError(f"no host {segment.dst!r} attached to link")
+        for tap in self.taps:
+            tap(segment, self.sim.now)
+        direction = (segment.src, segment.dst)
+        compressor = self._compressors.get(direction)
+        if compressor is not None:
+            from .packet import HEADER_BYTES
+            wire_bytes = HEADER_BYTES + compressor.wire_bytes(segment.payload)
+        else:
+            wire_bytes = segment.wire_size
+        tx_time = wire_bytes * self.bits_per_byte / self.bandwidth_bps
+        if self.jitter:
+            tx_time *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        if self.queue_limit_packets is not None:
+            if self._queued.get(direction, 0) >= self.queue_limit_packets:
+                # Drop-tail: the bottleneck buffer is full.
+                self.segments_dropped += 1
+                return
+            self._queued[direction] = self._queued.get(direction, 0) + 1
+        start = max(self.sim.now, self._next_free.get(direction, 0.0))
+        finish = start + tx_time
+        self._next_free[direction] = finish
+        if self.queue_limit_packets is not None:
+            # The buffer slot frees once serialization finishes.
+            self.sim.schedule_at(finish, self._dequeue, direction)
+        if self.loss_rate and self.rng.random() < self.loss_rate:
+            # The segment occupied the wire but never arrives.
+            self.segments_dropped += 1
+            return
+        deliver_at = finish + self.propagation_delay
+        self.sim.schedule_at(deliver_at, self._deliver, segment)
+
+    def _dequeue(self, direction: Tuple[str, str]) -> None:
+        self._queued[direction] = max(0, self._queued.get(direction, 1)
+                                      - 1)
+
+    def _deliver(self, segment: Segment) -> None:
+        segment.delivered_at = self.sim.now
+        self._receivers[segment.dst](segment)
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkEnvironment:
+    """One row of the paper's Table 1, plus modelling constants.
+
+    ``bandwidth_bps`` for the WAN is the effective bottleneck rate of the
+    1997 MIT→LBL path (the paper never states it; a T1-class 1.5 Mbit/s
+    bottleneck reproduces the observed transfer times).
+    """
+
+    name: str
+    description: str
+    bandwidth_bps: float
+    rtt: float
+    mss: int = 1460
+    bits_per_byte: float = 8
+    #: Whether the modem applies V.42bis-style stream compression.
+    modem_compression: bool = False
+
+    @property
+    def one_way_delay(self) -> float:
+        """One-way propagation delay (half the RTT)."""
+        return self.rtt / 2.0
+
+    def make_link(self, sim: Simulator, *, jitter: float = 0.0,
+                  rng: Optional[random.Random] = None) -> Link:
+        """Instantiate a :class:`Link` for this environment."""
+        return Link(sim, self.bandwidth_bps, self.one_way_delay,
+                    bits_per_byte=self.bits_per_byte, jitter=jitter, rng=rng)
+
+
+#: High bandwidth, low latency: 10 Mbit Ethernet, RTT < 1 ms.
+LAN = NetworkEnvironment(
+    name="LAN",
+    description="High bandwidth, low latency - 10 Mbit Ethernet",
+    bandwidth_bps=10_000_000.0,
+    rtt=0.0008,
+)
+
+#: High bandwidth, high latency: transcontinental Internet, RTT ~ 90 ms.
+#: The effective bottleneck rate of the quiet 1997 MIT→LBL path is not
+#: stated in the paper; 1.0 Mbit/s reproduces its observed transfer
+#: times.
+WAN = NetworkEnvironment(
+    name="WAN",
+    description="High bandwidth, high latency - MA (MIT/LCS) to CA (LBL)",
+    bandwidth_bps=1_000_000.0,
+    rtt=0.090,
+)
+
+#: Low bandwidth, high latency: 28.8k dialup PPP, RTT ~ 150 ms.
+#: The modem pair runs V.42 LAPM (synchronous HDLC, ~8.3 line bits per
+#: payload byte including framing) with V.42bis data compression, as on
+#: real 1997 dialup hardware.
+PPP = NetworkEnvironment(
+    name="PPP",
+    description="Low bandwidth, high latency - 28.8k modem via PPP",
+    bandwidth_bps=28_800.0,
+    rtt=0.150,
+    bits_per_byte=8.3,
+    modem_compression=True,
+)
+
+#: Lookup table for the three environments of Table 1.
+ENVIRONMENTS: Dict[str, NetworkEnvironment] = {
+    env.name: env for env in (LAN, WAN, PPP)
+}

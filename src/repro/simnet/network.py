@@ -1,0 +1,123 @@
+"""Convenience wiring: a client and a server host joined by one link.
+
+Every experiment in the paper is a two-host affair — the libwww robot on
+one machine, Jigsaw or Apache on the other, with tcpdump watching the
+client side.  :class:`TwoHostNetwork` assembles exactly that: a
+:class:`~repro.simnet.engine.Simulator`, a
+:class:`~repro.simnet.link.Link` configured from a
+:class:`~repro.simnet.link.NetworkEnvironment`, one
+:class:`~repro.simnet.tcp.TcpStack` per host, a
+:class:`~repro.simnet.trace.TraceCollector` tap, and (for the PPP
+environment) a V.42bis :class:`~repro.simnet.modem.ModemCompressor` pair.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .engine import Simulator
+from .link import NetworkEnvironment
+from .modem import ModemCompressor
+from .tcp import TcpConfig, TcpStack
+from .trace import TraceCollector
+
+__all__ = ["TwoHostNetwork", "ChainNetwork", "CLIENT_HOST", "SERVER_HOST",
+           "PROXY_HOST"]
+
+#: Host names used throughout experiments (after the paper's machines).
+CLIENT_HOST = "zorch.w3.org"
+SERVER_HOST = "www26.w3.org"
+PROXY_HOST = "proxy.w3.org"
+
+
+class TwoHostNetwork:
+    """A simulated client/server pair on one network environment.
+
+    Parameters
+    ----------
+    environment:
+        One of :data:`repro.simnet.link.LAN` / ``WAN`` / ``PPP`` (or any
+        custom :class:`NetworkEnvironment`).
+    seed:
+        Seed for the jitter RNG; two networks with the same seed behave
+        identically.
+    jitter:
+        Fractional transmission-time jitter, modelling the run-to-run
+        variation the paper averaged away over five runs.
+    client_config / server_config:
+        Optional per-host :class:`TcpConfig` overrides (e.g. to flip
+        ``TCP_NODELAY`` defaults or the initial congestion window).
+    modem_compression:
+        Override the environment's modem-compression flag (e.g. to
+        measure a PPP link with V.42bis disabled).
+    """
+
+    def __init__(self, environment: NetworkEnvironment, *,
+                 seed: int = 0, jitter: float = 0.0,
+                 client_config: Optional[TcpConfig] = None,
+                 server_config: Optional[TcpConfig] = None,
+                 modem_compression: Optional[bool] = None) -> None:
+        self.environment = environment
+        self.sim = Simulator()
+        self.rng = random.Random(seed)
+        self.link = environment.make_link(self.sim, jitter=jitter,
+                                          rng=self.rng)
+        mss_config = TcpConfig(mss=environment.mss)
+        self.client = TcpStack(self.sim, CLIENT_HOST, self.link,
+                               client_config or mss_config)
+        self.server = TcpStack(self.sim, SERVER_HOST, self.link,
+                               server_config or TcpConfig(
+                                   mss=environment.mss))
+        self.trace = TraceCollector(self.link, CLIENT_HOST)
+        self.modem_up: Optional[ModemCompressor] = None
+        self.modem_down: Optional[ModemCompressor] = None
+        use_modem = (environment.modem_compression
+                     if modem_compression is None else modem_compression)
+        if use_modem:
+            self.modem_up = ModemCompressor()
+            self.modem_down = ModemCompressor()
+            self.link.set_compressor(CLIENT_HOST, SERVER_HOST,
+                                     self.modem_up)
+            self.link.set_compressor(SERVER_HOST, CLIENT_HOST,
+                                     self.modem_down)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation until quiescent (or until ``until``)."""
+        self.sim.run(until=until)
+
+
+class ChainNetwork:
+    """Client — proxy — origin: two links, three hosts, one simulator.
+
+    Used for the Keep-Alive-through-proxies pathology the paper cites
+    as the reason HTTP/1.1's persistent connections differ from the
+    HTTP/1.0 Keep-Alive extension.  The proxy host owns a TCP stack on
+    *each* link (it has two interfaces).
+    """
+
+    def __init__(self, environment: NetworkEnvironment, *,
+                 seed: int = 0, jitter: float = 0.0) -> None:
+        self.environment = environment
+        self.sim = Simulator()
+        rng = random.Random(seed)
+        self.client_link = environment.make_link(self.sim, jitter=jitter,
+                                                 rng=rng)
+        self.server_link = environment.make_link(self.sim, jitter=jitter,
+                                                 rng=rng)
+        config = TcpConfig(mss=environment.mss)
+        self.client = TcpStack(self.sim, CLIENT_HOST, self.client_link,
+                               config)
+        self.proxy_client_side = TcpStack(self.sim, PROXY_HOST,
+                                          self.client_link,
+                                          TcpConfig(mss=environment.mss))
+        self.proxy_server_side = TcpStack(self.sim, PROXY_HOST,
+                                          self.server_link,
+                                          TcpConfig(mss=environment.mss))
+        self.server = TcpStack(self.sim, SERVER_HOST, self.server_link,
+                               TcpConfig(mss=environment.mss))
+        self.trace = TraceCollector(self.client_link, CLIENT_HOST)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation until quiescent (or until ``until``)."""
+        self.sim.run(until=until)

@@ -1,0 +1,847 @@
+"""Simulated TCP endpoints.
+
+This module implements the TCP mechanisms the paper's results hinge on:
+
+* the **three-way handshake** and the per-connection open/close control
+  packets whose cost HTTP/1.0 pays 43 times per page,
+* **slow start** ([Jacobson 88]): a new connection probes the path with a
+  small congestion window, so short HTTP/1.0 transfers finish before TCP
+  ever reaches the path's capacity,
+* **delayed acknowledgements** (up to 200 ms, or every second segment),
+  whose interaction with application buffering the paper analyses in
+  "Why Compression is Important",
+* the **Nagle algorithm** [RFC 896] and the ``TCP_NODELAY`` escape hatch —
+  the paper recommends that buffering HTTP/1.1 implementations disable
+  Nagle, confirming Heidemann's findings,
+* **independent half-close**: the paper's "Connection Management" section
+  shows that a server which closes both directions at once destroys
+  pipelined responses with a RST; servers must close each half
+  independently.
+
+The paper's traces were taken on quiet links, but the simulator still
+implements full loss recovery so congested-path behaviour can be
+studied (see ``benchmarks/bench_lossy_wan.py``): a retransmission queue
+with an adaptive RTO (Jacobson srtt/rttvar, Karn's rule, exponential
+backoff), duplicate-ACK generation with out-of-order reassembly on the
+receiver, fast retransmit on three duplicate ACKs, and the standard
+cwnd/ssthresh reactions (multiplicative decrease; slow-start restart
+after a timeout).
+
+Sequence numbers start at zero per connection, payloads are real bytes,
+and SYN/FIN each consume one sequence number, exactly as in RFC 793.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .engine import Event, Simulator
+from .link import Link
+from .packet import Segment
+
+__all__ = ["TcpConfig", "TcpConnection", "TcpListener", "TcpStack",
+           "TcpError"]
+
+
+@dataclasses.dataclass
+class TcpConfig:
+    """Tunables of a simulated TCP stack.
+
+    Defaults model a 1997 BSD-derived stack on an Ethernet path.
+
+    Attributes
+    ----------
+    mss:
+        Maximum segment size (Table 1 uses 1460 everywhere).
+    initial_cwnd_segments:
+        Initial congestion window in segments.  The paper notes "some TCP
+        stacks implement slow start using one TCP segment whereas others
+        implement it using two packets"; both are supported.
+    ssthresh:
+        Initial slow-start threshold in bytes.
+    rwnd:
+        Receiver window advertised (bytes).  Large enough that the tests
+        are congestion-window limited, as on the paper's hosts.
+    delack_delay:
+        Period of the delayed-ACK timer.  BSD-derived stacks run a
+        *heartbeat* every 200 ms rather than a per-segment timeout, so a
+        lone segment waits anywhere from 0 to 200 ms (100 ms on
+        average) for its ACK; ``delack_heartbeat`` selects that
+        behaviour (the default, matching the paper's hosts).
+    delack_segments:
+        Acknowledge immediately once this many segments are unacknowledged.
+    nodelay:
+        Default ``TCP_NODELAY`` setting for new connections (Nagle off
+        when True).
+    rto_min / rto_max:
+        Retransmission-timeout bounds (BSD used a 500 ms slow-tick clock
+        with a 1 s floor; the floor is configurable for fast tests).
+    dupack_threshold:
+        Duplicate ACKs that trigger a fast retransmit.
+    """
+
+    mss: int = 1460
+    initial_cwnd_segments: int = 2
+    ssthresh: int = 65535
+    rwnd: int = 65535
+    delack_delay: float = 0.200
+    delack_heartbeat: bool = True
+    delack_segments: int = 2
+    nodelay: bool = False
+    rto_min: float = 1.0
+    rto_max: float = 64.0
+    dupack_threshold: int = 3
+
+
+class TcpError(RuntimeError):
+    """Raised on invalid operations against a connection."""
+
+
+class TcpConnection:
+    """One endpoint of a simulated TCP connection.
+
+    Applications interact through:
+
+    * :meth:`send` — queue bytes for transmission (optionally closing
+      the send side atomically so the FIN rides the last segment),
+    * :meth:`close` — close the *send* side (half-close; receiving
+      continues),
+    * :meth:`shutdown_receive` — additionally stop receiving, modelling
+      the naive simultaneous close the paper warns against,
+    * :meth:`abort` — send a RST,
+    * callbacks assigned by the application::
+
+        conn.on_connect = lambda conn: ...
+        conn.on_data    = lambda conn, data: ...
+        conn.on_eof     = lambda conn: ...      # peer sent FIN
+        conn.on_reset   = lambda conn: ...      # connection was reset
+        conn.on_closed  = lambda conn: ...      # both halves closed cleanly
+
+    The full RFC 793 state machine (minus retransmission states) is kept
+    in :attr:`state` and is observable by tests.
+    """
+
+    def __init__(self, stack: "TcpStack", local_port: int, peer: str,
+                 peer_port: int, config: TcpConfig) -> None:
+        self.stack = stack
+        self.sim = stack.sim
+        self.local_host = stack.host
+        self.local_port = local_port
+        self.peer = peer
+        self.peer_port = peer_port
+        self.config = config
+        self.state = "CLOSED"
+
+        # Send sequence state (relative ISNs: always 0).
+        self.snd_una = 0          # oldest unacknowledged sequence number
+        self.snd_nxt = 0          # next sequence number to send
+        self._send_queue = bytearray()
+        self._fin_queued = False
+        self._fin_sent = False
+        self._syn_acked = False
+
+        # Receive sequence state.
+        self.rcv_nxt = 0
+        self._fin_received = False
+        self._receive_shutdown = False
+        #: Out-of-order segments awaiting reassembly, keyed by seq.
+        self._reassembly: Dict[int, Segment] = {}
+        # Flow control: application read pacing.
+        self._paused = False
+        self._recv_buffer: List[bytes] = []
+        self._recv_buffered_bytes = 0
+        self._pending_eof = False
+        #: The peer's most recently advertised receive window.
+        self._peer_window = config.rwnd
+        self._persist_event: Optional[Event] = None
+        self._persist_interval = 1.0
+
+        # Congestion control.
+        self.cwnd = config.initial_cwnd_segments * config.mss
+        self.ssthresh = config.ssthresh
+
+        # Loss recovery.
+        self._retransmit_queue: List[Segment] = []
+        self._rto_event: Optional[Event] = None
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto_backoff = 1
+        self._dup_acks = 0
+        self._rtt_sample: Optional[Tuple[int, float]] = None
+        # NewReno fast recovery: retransmit on partial ACKs until the
+        # whole pre-loss window is acknowledged.
+        self._in_recovery = False
+        self._recovery_point = 0
+        #: Loss-recovery statistics.
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+
+        # Delayed-ACK machinery.
+        self._segments_unacked = 0
+        self._delack_event: Optional[Event] = None
+
+        # Socket options.
+        self.nodelay = config.nodelay
+
+        # Statistics (exposed for tests and the trace summaries).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        self.segments_received = 0
+
+        # Application callbacks.
+        self.on_connect: Callable[["TcpConnection"], None] = _noop
+        self.on_data: Callable[["TcpConnection", bytes], None] = _noop
+        self.on_eof: Callable[["TcpConnection"], None] = _noop
+        self.on_reset: Callable[["TcpConnection"], None] = _noop
+        self.on_closed: Callable[["TcpConnection"], None] = _noop
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def set_nodelay(self, enabled: bool = True) -> None:
+        """Set ``TCP_NODELAY`` (True disables the Nagle algorithm)."""
+        self.nodelay = enabled
+
+    def pause_reading(self) -> None:
+        """Model a slow application: arriving data is ACKed into the
+        receive buffer but not delivered, so the advertised window
+        shrinks and eventually stalls the sender — the socket-buffer
+        backpressure the paper's Implementation Experience section
+        describes."""
+        self._paused = True
+
+    def resume_reading(self) -> None:
+        """Deliver buffered data and re-open the advertised window."""
+        if not self._paused:
+            return
+        self._paused = False
+        window_was_closed = self._advertised_window() == 0
+        chunks, self._recv_buffer = self._recv_buffer, []
+        self._recv_buffered_bytes = 0
+        for chunk in chunks:
+            self.on_data(self, chunk)
+        if self._pending_eof:
+            self._pending_eof = False
+            self.on_eof(self)
+        if window_was_closed and self.state != "CLOSED":
+            # Window update so the stalled sender can continue.
+            self._send_pure_ack()
+
+    @property
+    def recv_buffered(self) -> int:
+        """Bytes ACKed but not yet delivered to the application."""
+        return self._recv_buffered_bytes
+
+    def send(self, data: bytes, close: bool = False) -> None:
+        """Queue application ``data`` for transmission.
+
+        May be called before the handshake completes (data is sent once
+        the connection is established) but not after :meth:`close`.
+        ``close=True`` half-closes atomically with the write, letting
+        the FIN ride on the final data segment — one packet saved per
+        connection, which HTTP/1.0's 43 connections notice.
+        """
+        if self._fin_queued:
+            raise TcpError("send after close")
+        if self.state in ("CLOSED", "TIME_WAIT", "LAST_ACK", "CLOSING"):
+            raise TcpError(f"send in state {self.state}")
+        if not data:
+            if close:
+                self.close()
+            return
+        self._send_queue.extend(data)
+        if close:
+            self._fin_queued = True
+        self._try_send()
+
+    def close(self) -> None:
+        """Close the send side (half-close).  Receiving continues.
+
+        Queued data is transmitted first, then a FIN.  This is the
+        correct way for an HTTP/1.1 server to end a pipelined
+        connection — the client's in-flight requests keep getting ACKed
+        instead of triggering a RST.
+        """
+        if self._fin_queued:
+            return
+        if self.state == "CLOSED":
+            return
+        self._fin_queued = True
+        self._try_send()
+
+    def shutdown_receive(self) -> None:
+        """Stop accepting incoming data: further data triggers a RST.
+
+        Together with :meth:`close` this models the naive "close both
+        halves at once" behaviour the paper's Connection Management
+        section shows corrupting pipelined exchanges.
+        """
+        self._receive_shutdown = True
+
+    def abort(self) -> None:
+        """Send a RST and drop the connection immediately."""
+        if self.state == "CLOSED":
+            return
+        self._emit_unreliable(Segment(
+            self.local_host, self.local_port, self.peer, self.peer_port,
+            seq=self.snd_nxt, ack=self.rcv_nxt, flag_rst=True,
+            flag_ack=True))
+        self._teardown()
+
+    @property
+    def send_queue_len(self) -> int:
+        """Bytes queued but not yet handed to the network."""
+        return len(self._send_queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Bytes (of sequence space) sent but not yet acknowledged."""
+        return self.snd_nxt - self.snd_una
+
+    # ------------------------------------------------------------------
+    # Connection setup
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        """Initiate the active open (called by :meth:`TcpStack.connect`)."""
+        self.state = "SYN_SENT"
+        self._emit_reliable(Segment(
+            self.local_host, self.local_port, self.peer, self.peer_port,
+            seq=self.snd_nxt, flag_syn=True))
+        self.snd_nxt += 1
+
+    def _passive_open(self, syn: Segment) -> None:
+        """Complete a passive open from a received SYN."""
+        self.rcv_nxt = syn.seq + 1
+        self.state = "SYN_RCVD"
+        self._emit_reliable(Segment(
+            self.local_host, self.local_port, self.peer, self.peer_port,
+            seq=self.snd_nxt, ack=self.rcv_nxt, flag_syn=True,
+            flag_ack=True))
+        self.snd_nxt += 1
+
+    # ------------------------------------------------------------------
+    # Segment transmission and loss recovery
+    # ------------------------------------------------------------------
+    def _advertised_window(self) -> int:
+        """Receive window left after unread buffered data."""
+        return max(0, self.config.rwnd - self._recv_buffered_bytes)
+
+    def _emit_unreliable(self, segment: Segment) -> None:
+        """Transmit without retransmission state (ACKs, RSTs)."""
+        segment.window = self._advertised_window()
+        self.segments_sent += 1
+        self.bytes_sent += segment.payload_len
+        self.stack.link.transmit(segment)
+
+    def _emit_reliable(self, segment: Segment) -> None:
+        """Transmit and remember for retransmission (SYN/data/FIN)."""
+        self._retransmit_queue.append(segment)
+        if self._rtt_sample is None:
+            self._rtt_sample = (segment.end_seq, self.sim.now)
+        self._emit_unreliable(segment)
+        self._arm_rto()
+
+    def _current_rto(self) -> float:
+        if self._srtt is None:
+            base = 3.0          # RFC 6298 initial RTO
+        else:
+            base = self._srtt + 4 * self._rttvar
+        rto = max(self.config.rto_min, base) * self._rto_backoff
+        return min(self.config.rto_max, rto)
+
+    def _arm_rto(self, restart: bool = False) -> None:
+        if self._rto_event is not None:
+            if not restart:
+                return
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self._retransmit_queue:
+            self._rto_event = self.sim.schedule(self._current_rto(),
+                                                self._rto_fire)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _rto_fire(self) -> None:
+        self._rto_event = None
+        if not self._retransmit_queue or self.state == "CLOSED":
+            return
+        self.timeouts += 1
+        # Multiplicative decrease and slow-start restart.
+        flight = max(self.in_flight, self.config.mss)
+        self.ssthresh = max(flight // 2, 2 * self.config.mss)
+        self.cwnd = self.config.mss
+        self._in_recovery = False
+        self._rto_backoff = min(self._rto_backoff * 2, 64)
+        self._rtt_sample = None          # Karn's rule
+        self._retransmit_first()
+        self._arm_rto(restart=True)
+
+    def _retransmit_first(self) -> None:
+        segment = self._retransmit_queue[0]
+        self.retransmissions += 1
+        self._rtt_sample = None          # Karn's rule
+        copy = dataclasses.replace(
+            segment, ack=self.rcv_nxt,
+            flag_ack=segment.flag_ack or self.rcv_nxt > 0)
+        self._emit_unreliable(copy)
+
+    def _arm_persist(self) -> None:
+        if self._persist_event is None:
+            self._persist_event = self.sim.schedule(
+                self._persist_interval, self._persist_fire)
+
+    def _cancel_persist(self) -> None:
+        if self._persist_event is not None:
+            self._persist_event.cancel()
+            self._persist_event = None
+
+    def _persist_fire(self) -> None:
+        """Zero-window probe: push one byte past the closed window so
+        the peer re-ACKs with its current window (RFC 1122 persistence;
+        without it a lost window update deadlocks the connection)."""
+        self._persist_event = None
+        if not self._send_queue or self._peer_window > 0 \
+                or self.in_flight > 0 or self.state == "CLOSED":
+            return
+        payload = bytes(self._send_queue[:1])
+        del self._send_queue[:1]
+        probe = Segment(self.local_host, self.local_port, self.peer,
+                        self.peer_port, seq=self.snd_nxt,
+                        ack=self.rcv_nxt, payload=payload, flag_ack=True)
+        self.snd_nxt += 1
+        self._emit_reliable(probe)
+        self._persist_interval = min(self._persist_interval * 2, 60.0)
+
+    def _update_rtt(self, sample: float) -> None:
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2
+        else:
+            delta = sample - self._srtt
+            self._srtt += 0.125 * delta
+            self._rttvar += 0.25 * (abs(delta) - self._rttvar)
+
+    # ------------------------------------------------------------------
+    # Sending data
+    # ------------------------------------------------------------------
+    def _cancel_delack(self) -> None:
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        self._segments_unacked = 0
+
+    def _send_pure_ack(self) -> None:
+        self._cancel_delack()
+        self._emit_unreliable(Segment(
+            self.local_host, self.local_port, self.peer, self.peer_port,
+            seq=self.snd_nxt, ack=self.rcv_nxt, flag_ack=True))
+
+    def _delack_fire(self) -> None:
+        self._delack_event = None
+        if self._segments_unacked > 0:
+            self._send_pure_ack()
+
+    def _try_send(self) -> None:
+        """Transmit as much queued data as the window and Nagle permit."""
+        if self.state not in ("ESTABLISHED", "CLOSE_WAIT", "FIN_WAIT_1",
+                              "CLOSING", "LAST_ACK"):
+            # Handshake not finished (data stays queued) or fully closed.
+            return
+        config = self.config
+        while self._send_queue:
+            window = min(self.cwnd, self._peer_window)
+            available = window - self.in_flight
+            if available <= 0:
+                if self._peer_window == 0 and self.in_flight == 0:
+                    # Zero window with nothing in flight: only a persist
+                    # probe can discover when it reopens.
+                    self._arm_persist()
+                return
+            chunk = min(len(self._send_queue), config.mss, available)
+            if (chunk < config.mss and chunk < len(self._send_queue)
+                    and self.in_flight > 0):
+                # Window fragment; wait for it to open rather than send
+                # a sliver (sender-side silly window avoidance).
+                return
+            if (chunk < config.mss and self.in_flight > 0
+                    and not self.nodelay):
+                # Nagle: a small segment must wait while data is unACKed.
+                return
+            payload = bytes(self._send_queue[:chunk])
+            del self._send_queue[:chunk]
+            last_chunk = not self._send_queue
+            fin_here = (last_chunk and self._fin_queued
+                        and not self._fin_sent
+                        and self.in_flight + chunk + 1 <= window)
+            segment = Segment(self.local_host, self.local_port, self.peer,
+                              self.peer_port, seq=self.snd_nxt,
+                              ack=self.rcv_nxt, payload=payload,
+                              flag_ack=True, flag_psh=last_chunk,
+                              flag_fin=fin_here)
+            self.snd_nxt += chunk
+            if fin_here:
+                self.snd_nxt += 1
+                self._fin_sent = True
+                self._advance_close_state_after_fin()
+            self._cancel_delack()   # the ACK rides along
+            self._emit_reliable(segment)
+        if (self._fin_queued and not self._fin_sent
+                and not self._send_queue):
+            self._emit_reliable(Segment(
+                self.local_host, self.local_port, self.peer,
+                self.peer_port, seq=self.snd_nxt, ack=self.rcv_nxt,
+                flag_ack=True, flag_fin=True))
+            self.snd_nxt += 1
+            self._fin_sent = True
+            self._cancel_delack()
+            self._advance_close_state_after_fin()
+
+    def _advance_close_state_after_fin(self) -> None:
+        if self.state == "ESTABLISHED":
+            self.state = "FIN_WAIT_1"
+        elif self.state == "CLOSE_WAIT":
+            self.state = "LAST_ACK"
+
+    # ------------------------------------------------------------------
+    # Segment reception
+    # ------------------------------------------------------------------
+    def _receive(self, segment: Segment) -> None:
+        self.segments_received += 1
+        if segment.flag_rst:
+            self._handle_rst()
+            return
+        if self.state == "SYN_SENT":
+            self._handle_syn_sent(segment)
+            return
+        if self.state == "SYN_RCVD" and segment.flag_ack \
+                and segment.ack >= 1:
+            self.state = "ESTABLISHED"
+            self.on_connect(self)
+            # Fall through: the ACK may carry data.
+        if self._receive_shutdown and segment.payload_len:
+            # Data for a receive-closed socket: reset, as real stacks do.
+            self._emit_unreliable(Segment(
+                self.local_host, self.local_port, self.peer,
+                self.peer_port, seq=self.snd_nxt, ack=self.rcv_nxt,
+                flag_rst=True, flag_ack=True))
+            self._teardown()
+            return
+        if segment.flag_ack:
+            self._handle_ack(segment)
+        if self.state == "CLOSED":
+            return
+        delivered, fin_ready = self._ingest(segment)
+        if fin_ready:
+            self._handle_fin()
+        elif delivered:
+            self._schedule_ack()
+
+    def _handle_syn_sent(self, segment: Segment) -> None:
+        if not (segment.flag_syn and segment.flag_ack):
+            return
+        self.rcv_nxt = segment.seq + 1
+        self._handle_ack(segment)
+        self.state = "ESTABLISHED"
+        self._send_pure_ack()
+        self.on_connect(self)
+        self._try_send()
+
+    def _handle_ack(self, segment: Segment) -> None:
+        ack = segment.ack
+        window_changed = segment.window != self._peer_window
+        self._peer_window = segment.window
+        if window_changed:
+            # A window update reopens (or closes) the send path.
+            self._persist_interval = 1.0
+            if self._peer_window > 0:
+                self._cancel_persist()
+                self._try_send()
+        if ack > self.snd_una:
+            if self._rtt_sample is not None \
+                    and ack >= self._rtt_sample[0]:
+                self._update_rtt(self.sim.now - self._rtt_sample[1])
+                self._rtt_sample = None
+            self._rto_backoff = 1
+            self._dup_acks = 0
+            self.snd_una = ack
+            while (self._retransmit_queue
+                   and self._retransmit_queue[0].end_seq <= ack):
+                self._retransmit_queue.pop(0)
+            if self._retransmit_queue:
+                self._arm_rto(restart=True)
+            else:
+                self._cancel_rto()
+            if self._in_recovery:
+                if ack >= self._recovery_point:
+                    self._in_recovery = False
+                else:
+                    # NewReno partial ACK: the next segment after the
+                    # hole is also lost — retransmit it now instead of
+                    # waiting out a full RTO per additional loss.
+                    if self._retransmit_queue:
+                        self._retransmit_first()
+                    self._try_send()
+                    return
+            if not self._syn_acked:
+                # The ACK of our SYN completes the handshake; it does
+                # not clock the congestion window (cwnd starts at its
+                # initial value when the connection is ESTABLISHED).
+                self._syn_acked = True
+            elif self.cwnd < self.ssthresh:
+                # Slow start: one extra segment per ACK received.
+                self.cwnd += self.config.mss
+            else:
+                # Congestion avoidance: ~one extra segment per RTT.
+                self.cwnd += max(1, self.config.mss * self.config.mss
+                                 // self.cwnd)
+            if self._fin_sent and self.snd_una == self.snd_nxt:
+                if self.state == "FIN_WAIT_1":
+                    self.state = "FIN_WAIT_2"
+                elif self.state in ("LAST_ACK", "CLOSING"):
+                    self._finish_clean_close()
+                    return
+            self._try_send()
+            return
+        # Duplicate ACK: no payload, no flags, no window change, data
+        # outstanding (window updates are not loss signals).
+        if (ack == self.snd_una and self.in_flight > 0
+                and not window_changed
+                and not segment.payload_len and not segment.flag_syn
+                and not segment.flag_fin):
+            self._dup_acks += 1
+            if self._dup_acks == self.config.dupack_threshold \
+                    and not self._in_recovery:
+                self.fast_retransmits += 1
+                flight = max(self.in_flight, self.config.mss)
+                self.ssthresh = max(flight // 2, 2 * self.config.mss)
+                self.cwnd = self.ssthresh
+                self._in_recovery = True
+                self._recovery_point = self.snd_nxt
+                self._retransmit_first()
+                self._arm_rto(restart=True)
+
+    # ------------------------------------------------------------------
+    # Receiving data (with out-of-order reassembly)
+    # ------------------------------------------------------------------
+    def _ingest(self, segment: Segment) -> Tuple[bool, bool]:
+        """Process payload/FIN; returns (delivered_data, fin_in_order)."""
+        if not segment.payload_len and not segment.flag_fin:
+            return False, False
+        if segment.end_seq <= self.rcv_nxt:
+            # Entirely old data (a retransmission we already have):
+            # re-ACK immediately so the peer can advance.
+            self._send_pure_ack()
+            return False, False
+        if segment.seq > self.rcv_nxt:
+            # A gap: buffer for reassembly, send an immediate duplicate
+            # ACK to trigger the peer's fast retransmit.
+            self._reassembly.setdefault(segment.seq, segment)
+            self._send_pure_ack()
+            return False, False
+        delivered = False
+        fin_ready = self._absorb(segment)
+        if segment.payload_len:
+            delivered = True
+        # Drain any now-contiguous buffered segments.
+        while self._reassembly:
+            nxt = self._reassembly.pop(self.rcv_nxt, None)
+            if nxt is None:
+                break
+            fin_ready = self._absorb(nxt) or fin_ready
+            if nxt.payload_len:
+                delivered = True
+        return delivered, fin_ready
+
+    def _absorb(self, segment: Segment) -> bool:
+        """Deliver an in-order (possibly overlapping) segment's payload;
+        returns True when its FIN became in-order."""
+        payload = segment.payload
+        if segment.seq < self.rcv_nxt:
+            payload = payload[self.rcv_nxt - segment.seq:]
+        if payload and self._paused and (self._recv_buffered_bytes
+                                         + len(payload)
+                                         > self.config.rwnd):
+            # Data beyond the advertised window (a persist probe):
+            # drop it and re-advertise, as a zero-window receiver does.
+            self._send_pure_ack()
+            return False
+        if payload:
+            self.rcv_nxt += len(payload)
+            self.bytes_received += len(payload)
+            self._segments_unacked += 1
+            if self._paused:
+                self._recv_buffer.append(bytes(payload))
+                self._recv_buffered_bytes += len(payload)
+            else:
+                self.on_data(self, payload)
+        if segment.flag_fin and not self._fin_received \
+                and segment.end_seq - 1 == self.rcv_nxt:
+            self.rcv_nxt += 1
+            self._fin_received = True
+            return True
+        return False
+
+    def _schedule_ack(self) -> None:
+        """Apply the delayed-ACK policy after delivering data."""
+        if self._segments_unacked == 0:
+            return
+        if self._segments_unacked >= self.config.delack_segments:
+            self._send_pure_ack()
+        elif self._delack_event is None:
+            period = self.config.delack_delay
+            if self.config.delack_heartbeat:
+                # BSD fast-timer: fire at the next multiple of the
+                # period (0..period from now, 100 ms average at 200 ms).
+                next_tick = (int(self.sim.now / period) + 1) * period
+                self._delack_event = self.sim.schedule_at(
+                    next_tick, self._delack_fire)
+            else:
+                self._delack_event = self.sim.schedule(
+                    period, self._delack_fire)
+
+    def _handle_fin(self) -> None:
+        # FINs are acknowledged immediately (BSD behaviour) so the peer's
+        # close completes without waiting on the delayed-ACK timer.
+        self._send_pure_ack()
+        if self._paused:
+            # Buffered data must reach the application before its EOF.
+            self._pending_eof = True
+        else:
+            self.on_eof(self)
+        if self.state == "ESTABLISHED":
+            self.state = "CLOSE_WAIT"
+        elif self.state == "FIN_WAIT_2":
+            self._finish_clean_close()
+        elif self.state == "FIN_WAIT_1":
+            # Simultaneous close.
+            self.state = "CLOSING"
+
+    def _handle_rst(self) -> None:
+        self._teardown()
+        self.on_reset(self)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _finish_clean_close(self) -> None:
+        self._teardown()
+        self.on_closed(self)
+
+    def _teardown(self) -> None:
+        self.state = "CLOSED"
+        self._cancel_delack()
+        self._cancel_rto()
+        self._cancel_persist()
+        self._retransmit_queue.clear()
+        self._reassembly.clear()
+        self._send_queue.clear()
+        self.stack._forget(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TcpConnection {self.local_host}:{self.local_port}->"
+                f"{self.peer}:{self.peer_port} {self.state}>")
+
+
+class TcpListener:
+    """A passive socket: accepts incoming connections on a port.
+
+    The ``on_accept`` callback receives the new :class:`TcpConnection`
+    as soon as the SYN arrives, *before* the handshake completes, so the
+    application can assign data callbacks without racing the first
+    request segment.
+    """
+
+    def __init__(self, stack: "TcpStack", port: int,
+                 on_accept: Callable[[TcpConnection], None]) -> None:
+        self.stack = stack
+        self.port = port
+        self.on_accept = on_accept
+        self.accepted = 0
+
+    def close(self) -> None:
+        """Stop accepting new connections."""
+        self.stack._listeners.pop(self.port, None)
+
+
+class TcpStack:
+    """Per-host TCP: port allocation, demultiplexing, connection table."""
+
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self, sim: Simulator, host: str, link: Link,
+                 config: Optional[TcpConfig] = None) -> None:
+        self.sim = sim
+        self.host = host
+        self.link = link
+        self.config = config or TcpConfig()
+        self._connections: Dict[Tuple[int, str, int], TcpConnection] = {}
+        self._listeners: Dict[int, TcpListener] = {}
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        #: Total connections ever opened from/accepted by this stack.
+        self.total_connections = 0
+        link.attach(host, self._receive)
+
+    # ------------------------------------------------------------------
+    def listen(self, port: int,
+               on_accept: Callable[[TcpConnection], None]) -> TcpListener:
+        """Open a passive socket on ``port``."""
+        if port in self._listeners:
+            raise TcpError(f"port {port} already listening")
+        listener = TcpListener(self, port, on_accept)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, peer: str, peer_port: int,
+                config: Optional[TcpConfig] = None) -> TcpConnection:
+        """Actively open a connection to ``peer:peer_port``.
+
+        Returns the connection immediately; assign callbacks to it, then
+        run the simulator.  Data queued with :meth:`TcpConnection.send`
+        before establishment flows once the handshake completes.
+        """
+        local_port = self._next_ephemeral
+        self._next_ephemeral += 1
+        conn = TcpConnection(self, local_port, peer, peer_port,
+                             config or self.config)
+        self._connections[(local_port, peer, peer_port)] = conn
+        self.total_connections += 1
+        conn._connect()
+        return conn
+
+    # ------------------------------------------------------------------
+    def _receive(self, segment: Segment) -> None:
+        key = (segment.dport, segment.src, segment.sport)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn._receive(segment)
+            return
+        listener = self._listeners.get(segment.dport)
+        if listener is not None and segment.flag_syn and not segment.flag_ack:
+            conn = TcpConnection(self, segment.dport, segment.src,
+                                 segment.sport, self.config)
+            self._connections[key] = conn
+            self.total_connections += 1
+            listener.accepted += 1
+            listener.on_accept(conn)
+            conn._passive_open(segment)
+            return
+        # Segment for a closed/unknown port: RST (unless it *is* a RST).
+        if not segment.flag_rst:
+            self.link.transmit(Segment(
+                self.host, segment.dport, segment.src, segment.sport,
+                seq=segment.ack, ack=segment.end_seq,
+                flag_rst=True, flag_ack=True))
+
+    def _forget(self, conn: TcpConnection) -> None:
+        self._connections.pop(
+            (conn.local_port, conn.peer, conn.peer_port), None)
+
+
+def _noop(*_args: object) -> None:
+    """Default connection callback: do nothing."""

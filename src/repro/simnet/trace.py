@@ -1,0 +1,161 @@
+"""tcpdump-style packet trace capture and summarization.
+
+The paper's primary data-gathering tool was ``tcpdump`` on the client
+host, post-processed into the Pa / Bytes / Sec / %ov columns of
+Tables 3–11.  :class:`TraceCollector` plays the same role for the
+simulator: it taps a :class:`~repro.simnet.link.Link`, records one
+:class:`PacketRecord` per segment, and computes the same summary
+statistics, including per-direction packet counts (Table 3 reports
+"packets from client to server" and "packets from server to client"
+separately) and packet-train lengths (the paper discusses mean packets
+per TCP connection as an Internet-health metric).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from .link import Link
+from .packet import HEADER_BYTES, Segment
+
+__all__ = ["PacketRecord", "TraceSummary", "TraceCollector"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PacketRecord:
+    """One captured segment, in client-side tcpdump style."""
+
+    time: float
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    flags: str
+    seq: int
+    ack: int
+    payload_len: int
+    wire_size: int
+
+    def format(self, start_time: float = 0.0) -> str:
+        """Render one human-readable trace line."""
+        return (f"{self.time - start_time:10.6f} {self.src}:{self.sport} > "
+                f"{self.dst}:{self.dport} [{self.flags}] seq={self.seq} "
+                f"ack={self.ack} len={self.payload_len}")
+
+
+@dataclasses.dataclass
+class TraceSummary:
+    """Aggregate statistics over a captured trace.
+
+    ``percent_overhead`` follows the paper's definition: the share of all
+    wire bytes consumed by 40-byte TCP/IP headers,
+    ``40·Pa / (payload + 40·Pa) × 100``.
+    """
+
+    packets: int
+    payload_bytes: int
+    header_bytes: int
+    packets_client_to_server: int
+    packets_server_to_client: int
+    connections: int
+    duration: float
+    mean_packets_per_connection: float
+    mean_packet_size: float
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire including headers."""
+        return self.payload_bytes + self.header_bytes
+
+    @property
+    def percent_overhead(self) -> float:
+        """TCP/IP header overhead as a percentage of wire bytes."""
+        if self.wire_bytes == 0:
+            return 0.0
+        return 100.0 * self.header_bytes / self.wire_bytes
+
+
+class TraceCollector:
+    """Records every segment crossing a link.
+
+    Parameters
+    ----------
+    link:
+        The link to tap.
+    client_host:
+        Name of the client host, used to split per-direction counts the
+        way the paper's client-side traces do.
+    """
+
+    def __init__(self, link: Link, client_host: str) -> None:
+        self.client_host = client_host
+        self.records: List[PacketRecord] = []
+        link.taps.append(self._tap)
+
+    def _tap(self, segment: Segment, now: float) -> None:
+        self.records.append(PacketRecord(
+            time=now, src=segment.src, sport=segment.sport,
+            dst=segment.dst, dport=segment.dport,
+            flags=segment.flags_str(), seq=segment.seq, ack=segment.ack,
+            payload_len=segment.payload_len, wire_size=segment.wire_size))
+
+    def clear(self) -> None:
+        """Discard all captured records."""
+        self.records.clear()
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    def summary(self) -> TraceSummary:
+        """Compute paper-style aggregate statistics for the capture."""
+        packets = len(self.records)
+        payload = sum(r.payload_len for r in self.records)
+        header = packets * HEADER_BYTES
+        c2s = sum(1 for r in self.records if r.src == self.client_host)
+        s2c = packets - c2s
+        flows = self._flows()
+        duration = (self.records[-1].time - self.records[0].time
+                    if self.records else 0.0)
+        per_conn = (packets / len(flows)) if flows else 0.0
+        mean_size = (payload + header) / packets if packets else 0.0
+        return TraceSummary(
+            packets=packets, payload_bytes=payload, header_bytes=header,
+            packets_client_to_server=c2s, packets_server_to_client=s2c,
+            connections=len(flows), duration=duration,
+            mean_packets_per_connection=per_conn,
+            mean_packet_size=mean_size)
+
+    def _flows(self) -> Dict[Tuple[str, int, str, int], int]:
+        """Group records into bidirectional flows (connections)."""
+        flows: Dict[Tuple[str, int, str, int], int] = {}
+        for record in self.records:
+            ends = sorted([(record.src, record.sport),
+                           (record.dst, record.dport)])
+            key = (ends[0][0], ends[0][1], ends[1][0], ends[1][1])
+            flows[key] = flows.get(key, 0) + 1
+        return flows
+
+    def packet_train_lengths(self) -> List[int]:
+        """Packets per connection, the paper's packet-train metric."""
+        return sorted(self._flows().values())
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def format_trace(self, limit: Optional[int] = None) -> str:
+        """Render the capture as readable trace lines (like tcpshow)."""
+        records = self.records if limit is None else self.records[:limit]
+        start = self.records[0].time if self.records else 0.0
+        return "\n".join(r.format(start) for r in records)
+
+    def time_sequence(self, src: str) -> List[Tuple[float, int]]:
+        """(time, end-sequence) points for segments sent by ``src``.
+
+        This is the data behind an xplot time-sequence graph, the tool
+        the paper used to find implementation problems invisible in raw
+        dumps.
+        """
+        start = self.records[0].time if self.records else 0.0
+        return [(r.time - start, r.seq + r.payload_len)
+                for r in self.records if r.src == src and r.payload_len]

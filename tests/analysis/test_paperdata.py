@@ -1,0 +1,74 @@
+"""Sanity tests over the transcribed paper data."""
+
+from repro.analysis import (BROWSER_TABLES, CONTENT_NUMBERS, MODEM_TABLE,
+                            PROTOCOL_TABLES, TABLE3)
+from repro.core import FIRST_TIME, REVALIDATE
+
+
+def test_all_six_protocol_tables_present():
+    assert set(PROTOCOL_TABLES) == {
+        ("Jigsaw", "LAN"), ("Apache", "LAN"),
+        ("Jigsaw", "WAN"), ("Apache", "WAN"),
+        ("Jigsaw", "PPP"), ("Apache", "PPP")}
+
+
+def test_lan_wan_tables_have_four_modes_ppp_three():
+    for (server, env), cells in PROTOCOL_TABLES.items():
+        modes = {mode for mode, _ in cells}
+        if env == "PPP":
+            assert len(modes) == 3
+            assert "HTTP/1.0" not in modes
+        else:
+            assert len(modes) == 4
+        scenarios = {s for _, s in cells}
+        assert scenarios == {FIRST_TIME, REVALIDATE}
+
+
+def test_paper_pipelining_packet_claim_holds_in_transcription():
+    """The transcription itself satisfies the abstract's >=2x claim."""
+    for (server, env), cells in PROTOCOL_TABLES.items():
+        if ("HTTP/1.0", FIRST_TIME) not in cells:
+            continue
+        http10 = cells[("HTTP/1.0", REVALIDATE)]
+        pipelined = cells[("HTTP/1.1 Pipelined", REVALIDATE)]
+        assert http10.packets / pipelined.packets > 10
+
+
+def test_overhead_consistency():
+    """%ov in the tables is consistent with Pa and Bytes (40 B headers)."""
+    for cells in PROTOCOL_TABLES.values():
+        for cell in cells.values():
+            derived = 100 * 40 * cell.packets / (
+                cell.payload_bytes + 40 * cell.packets)
+            assert abs(derived - cell.percent_overhead) < 1.0
+
+
+def test_table3_transcription():
+    assert TABLE3["HTTP/1.0"].total_packets == 497
+    assert TABLE3["HTTP/1.1"].seconds == 4.13
+    for row in TABLE3.values():
+        assert (row.packets_client_to_server
+                + row.packets_server_to_client) == row.total_packets
+
+
+def test_browser_tables():
+    assert set(BROWSER_TABLES) == {"Jigsaw", "Apache"}
+    for cells in BROWSER_TABLES.values():
+        assert len(cells) == 4
+
+
+def test_modem_table_savings():
+    for server in ("Jigsaw", "Apache"):
+        pa_unc, sec_unc = MODEM_TABLE[(server, "uncompressed")]
+        pa_cmp, sec_cmp = MODEM_TABLE[(server, "compressed")]
+        assert 1 - pa_cmp / pa_unc > 0.6
+        assert 1 - sec_cmp / sec_unc > 0.6
+
+
+def test_content_numbers():
+    paper = CONTENT_NUMBERS
+    assert paper["static_gif_bytes"] - paper["static_png_bytes"] == \
+        paper["png_saved"]
+    assert paper["animation_gif_bytes"] - paper["animation_mng_bytes"] \
+        == paper["mng_saved"]
+    assert paper["figure1_gif_bytes"] / paper["figure1_css_bytes"] > 4

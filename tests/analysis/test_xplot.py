@@ -1,0 +1,71 @@
+"""Tests for the xplot export and ASCII time-sequence rendering."""
+
+import pytest
+
+from repro.analysis.xplot import (ascii_time_sequence, write_xplot,
+                                  xplot_document)
+from repro.core import FIRST_TIME, HTTP11_PIPELINED, run_experiment
+from repro.simnet import LAN, SERVER_HOST, TwoHostNetwork
+from repro.server import APACHE
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    from repro.content import build_microscape_site
+    from repro.server import ResourceStore, SimHttpServer
+    from repro.client.robot import ClientConfig, Robot
+    site = build_microscape_site()
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, ResourceStore.from_site(site),
+                  APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80,
+                  ClientConfig(pipeline=True))
+    robot.fetch(site.html_url)
+    net.run()
+    return net
+
+
+def test_xplot_document_structure(traced_run):
+    doc = xplot_document(traced_run.trace, SERVER_HOST)
+    assert doc.startswith("double double")
+    assert "title" in doc
+    assert doc.rstrip().endswith("go")
+    assert doc.count("line ") > 50       # the ~130 data segments
+
+
+def test_write_xplot(tmp_path, traced_run):
+    path = tmp_path / "trace.xpl"
+    write_xplot(traced_run.trace, str(path), SERVER_HOST)
+    assert path.read_text().startswith("double double")
+
+
+def test_ascii_plot_shape(traced_run):
+    art = ascii_time_sequence(traced_run.trace, SERVER_HOST,
+                              width=60, height=12)
+    lines = art.splitlines()
+    assert len(lines) == 14              # header + 12 rows + axis
+    assert lines[-1].startswith("+---")
+    assert any("*" in line for line in lines)
+
+
+def test_ascii_plot_monotone_frontier(traced_run):
+    """On a lossless run the sequence frontier never regresses: the
+    top-most mark in each column moves upward left to right."""
+    art = ascii_time_sequence(traced_run.trace, SERVER_HOST,
+                              width=60, height=16)
+    rows = [line[1:] for line in art.splitlines()[1:-1]]
+    height = len(rows)
+    tops = []
+    for x in range(60):
+        column = [y for y in range(height) if rows[y][x] == "*"]
+        if column:
+            tops.append((x, height - min(column)))
+    assert tops == sorted(tops)
+    frontier = [top for _, top in tops]
+    assert frontier == sorted(frontier)
+
+
+def test_ascii_plot_empty_trace():
+    net = TwoHostNetwork(LAN)
+    assert ascii_time_sequence(net.trace, SERVER_HOST) == \
+        "(no data segments)"

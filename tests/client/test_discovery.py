@@ -1,0 +1,56 @@
+"""Unit tests for the incremental HTML image scanner."""
+
+from repro.client import IncrementalImageScanner
+
+
+def test_finds_urls_in_single_chunk():
+    scanner = IncrementalImageScanner()
+    found = scanner.feed(b'<p>x</p><img src="/a.gif"><img src="/b.gif">')
+    assert found == ["/a.gif", "/b.gif"]
+
+
+def test_tag_split_across_chunks():
+    scanner = IncrementalImageScanner()
+    assert scanner.feed(b'<body><img sr') == []
+    assert scanner.feed(b'c="/split.gif"> more text') == ["/split.gif"]
+
+
+def test_url_split_across_chunks():
+    scanner = IncrementalImageScanner()
+    assert scanner.feed(b'<img src="/very/long/pa') == []
+    assert scanner.feed(b'th/image.gif">') == ["/very/long/path/image.gif"]
+
+
+def test_duplicates_suppressed_across_chunks():
+    scanner = IncrementalImageScanner()
+    assert scanner.feed(b'<img src="/a.gif">') == ["/a.gif"]
+    assert scanner.feed(b'<img src="/a.gif"><img src="/b.gif">') == \
+        ["/b.gif"]
+    assert scanner.discovered == 2
+
+
+def test_byte_for_byte_feed_finds_everything():
+    html = b''.join(f'<img src="/i{n}.gif">'.encode() for n in range(10))
+    scanner = IncrementalImageScanner()
+    found = []
+    for i in range(len(html)):
+        found.extend(scanner.feed(html[i:i + 1]))
+    assert found == [f"/i{n}.gif" for n in range(10)]
+
+
+def test_bytes_seen_counter():
+    scanner = IncrementalImageScanner()
+    scanner.feed(b"0123456789")
+    scanner.feed(b"01234")
+    assert scanner.bytes_seen == 15
+
+
+def test_microscape_page_discovers_all_42():
+    from repro.content import build_microscape_site
+    site = build_microscape_site()
+    scanner = IncrementalImageScanner()
+    found = []
+    body = site.html.body
+    for offset in range(0, len(body), 1460):   # MSS-sized chunks
+        found.extend(scanner.feed(body[offset:offset + 1460]))
+    assert len(found) == 42

@@ -1,0 +1,204 @@
+"""Integration tests for the robot client against the simulated server."""
+
+import pytest
+
+from repro.client import FIRST_TIME, REVALIDATE, ClientConfig, Robot
+from repro.content import build_microscape_site
+from repro.core.scenarios import prefill_cache
+from repro.http import HTTP10, HTTP11, MemoryCache
+from repro.server import (APACHE, APACHE_12B2, JIGSAW, ResourceStore,
+                          SimHttpServer)
+from repro.simnet import LAN, SERVER_HOST, TwoHostNetwork
+
+
+@pytest.fixture(scope="module")
+def site():
+    return build_microscape_site()
+
+
+@pytest.fixture(scope="module")
+def store(site):
+    return ResourceStore.from_site(site)
+
+
+def run_fetch(site, store, config, scenario=FIRST_TIME, profile=APACHE,
+              prefill=False):
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, store, profile)
+    cache = MemoryCache()
+    if prefill:
+        prefill_cache(cache, store, site, profile)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80, config, cache)
+    known = site.all_urls() if scenario == REVALIDATE else None
+    result = robot.fetch(site.html_url, scenario, known_urls=known)
+    net.run()
+    return net, result
+
+
+# ----------------------------------------------------------------------
+# First-time retrieval in the four modes
+# ----------------------------------------------------------------------
+def test_http10_first_time_retrieves_everything(site, store):
+    config = ClientConfig(http_version=HTTP10, max_connections=4)
+    net, result = run_fetch(site, store, config)
+    assert result.complete
+    assert len(result.responses) == 43
+    for url, response in result.responses.items():
+        assert response.status == 200
+        assert response.body == site.objects[url].body
+    assert result.connections_used == 43
+    assert result.max_parallel_connections == 4
+
+
+def test_http11_persistent_uses_one_connection(site, store):
+    config = ClientConfig(http_version=HTTP11)
+    net, result = run_fetch(site, store, config)
+    assert result.complete
+    assert result.connections_used == 1
+    assert len(result.responses) == 43
+
+
+def test_pipelined_uses_fewer_packets_than_persistent(site, store):
+    def packets(config):
+        net, result = run_fetch(site, store, config)
+        assert result.complete
+        return net.trace.summary().packets
+
+    serialized = packets(ClientConfig(http_version=HTTP11))
+    pipelined = packets(ClientConfig(http_version=HTTP11, pipeline=True))
+    assert pipelined < serialized
+
+
+def test_compressed_html_still_parses_and_fetches_all(site, store):
+    config = ClientConfig(http_version=HTTP11, pipeline=True,
+                          accept_deflate=True)
+    net, result = run_fetch(site, store, config)
+    assert result.complete
+    html = result.responses[site.html_url]
+    # Robot inflated the body transparently.
+    assert html.body == site.html.body
+    assert len(result.responses) == 43
+
+
+def test_requests_are_compact(site, store):
+    """The paper: 'an average request size of around 190 bytes' —
+    'significantly smaller than many existing product HTTP
+    implementations'.  Our synthetic URLs are shorter than the real
+    Netscape/Microsoft paths, so the robot lands somewhat below 190;
+    the invariant is compact-vs-browser."""
+    config = ClientConfig(http_version=HTTP11, pipeline=True)
+    _, result = run_fetch(site, store, config)
+    assert 90 <= result.mean_request_bytes <= 240
+    from repro.core.browsers import NETSCAPE_40B5
+    _, browser_result = run_fetch(site, store,
+                                  NETSCAPE_40B5.client_config())
+    assert browser_result.mean_request_bytes > \
+        result.mean_request_bytes + 50
+
+
+# ----------------------------------------------------------------------
+# Revalidation
+# ----------------------------------------------------------------------
+def test_http11_revalidation_gets_43_304s(site, store):
+    config = ClientConfig(http_version=HTTP11, pipeline=True)
+    _, result = run_fetch(site, store, config, REVALIDATE, prefill=True)
+    assert result.complete
+    statuses = [r.status for r in result.responses.values()]
+    assert statuses.count(304) == 43
+
+
+def test_http10_revalidation_uses_get_plus_head(site, store):
+    config = ClientConfig(http_version=HTTP10, max_connections=4,
+                          reval_strategy="get-plus-head")
+    _, result = run_fetch(site, store, config, REVALIDATE, prefill=True)
+    assert result.complete
+    html = result.responses[site.html_url]
+    assert html.status == 200 and html.request_method == "GET"
+    heads = [r for r in result.responses.values()
+             if r.request_method == "HEAD"]
+    assert len(heads) == 42
+    assert all(r.status == 200 and r.body == b"" for r in heads)
+
+
+def test_conditional_requests_carry_etags(site, store):
+    """The HTTP/1.1 robot validates with If-None-Match entity tags."""
+    seen_requests = []
+    from repro.http import RequestParser
+    config = ClientConfig(http_version=HTTP11, pipeline=True)
+    net = TwoHostNetwork(LAN)
+    server = SimHttpServer(net.sim, net.server, store, APACHE)
+    tap_parser = RequestParser()
+    net.link.taps.append(
+        lambda seg, now: seen_requests.extend(
+            tap_parser.feed(seg.payload))
+        if seg.dport == 80 and seg.payload else None)
+    cache = MemoryCache()
+    prefill_cache(cache, store, site, APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80, config, cache)
+    result = robot.fetch(site.html_url, REVALIDATE,
+                         known_urls=site.all_urls())
+    net.run()
+    assert result.complete
+    hero = next(r for r in seen_requests
+                if r.target == "/gifs/hero.gif")
+    assert hero.headers.get("If-None-Match") == \
+        store.get("/gifs/hero.gif").etag
+
+
+def test_reval_refetch_html_transfers_body(site, store):
+    config = ClientConfig(http_version=HTTP11, reval_refetch_html=True)
+    _, result = run_fetch(site, store, config, REVALIDATE, prefill=True)
+    assert result.responses[site.html_url].status == 200
+    assert result.responses[site.html_url].body == site.html.body
+
+
+# ----------------------------------------------------------------------
+# Robustness
+# ----------------------------------------------------------------------
+def test_retry_when_server_caps_requests(site, store):
+    """Apache 1.2b2 closes every 5 responses; the pipelined robot must
+    re-issue unanswered requests and still finish."""
+    config = ClientConfig(http_version=HTTP11, pipeline=True)
+    _, result = run_fetch(site, store, config, profile=APACHE_12B2)
+    assert result.complete
+    assert len(result.responses) == 43
+    assert result.retries >= 1
+    assert result.connections_used >= 8    # ~43/5 connections
+
+
+def test_keepalive_browser_style_fetch(site, store):
+    config = ClientConfig(http_version=HTTP10, max_connections=4,
+                          keep_alive=True)
+    _, result = run_fetch(site, store, config)
+    assert result.complete
+    assert len(result.responses) == 43
+    # Keep-alive: far fewer connections than requests.
+    assert result.connections_used <= 8
+
+
+def test_robot_is_single_use(site, store):
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, store, APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80, ClientConfig())
+    robot.fetch(site.html_url)
+    with pytest.raises(RuntimeError):
+        robot.fetch(site.html_url)
+
+
+def test_fetch_without_images(site, store):
+    config = ClientConfig(follow_images=False)
+    _, result = run_fetch(site, store, config)
+    assert result.complete
+    assert list(result.responses) == [site.html_url]
+
+
+def test_on_complete_callback(site, store):
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, store, APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80,
+                  ClientConfig(follow_images=False))
+    done = []
+    robot.on_complete = done.append
+    robot.fetch(site.html_url)
+    net.run()
+    assert done and done[0].complete

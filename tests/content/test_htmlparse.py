@@ -1,0 +1,117 @@
+"""Unit and property tests for the incremental HTML tokenizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.content.htmlparse import HtmlTokenizer, Token, tokenize
+
+
+def kinds(tokens):
+    return [t.kind for t in tokens]
+
+
+def test_simple_document():
+    tokens = tokenize('<html><body class="x">hi</body></html>')
+    assert kinds(tokens) == ["start", "start", "text", "end", "end"]
+    assert tokens[0].data == "html"
+    assert tokens[1].get("class") == "x"
+    assert tokens[2].data == "hi"
+
+
+def test_attribute_quoting_styles():
+    tokens = tokenize('<img src="/a.gif" width=3 alt=\'x y\' border>')
+    token = tokens[0]
+    assert token.data == "img"
+    assert token.get("src") == "/a.gif"
+    assert token.get("width") == "3"
+    assert token.get("alt") == "x y"
+    assert token.get("border") == ""
+
+
+def test_attribute_lookup_case_insensitive():
+    token = tokenize('<IMG SRC="/a.gif">')[0]
+    assert token.data == "img"
+    assert token.get("SrC") == "/a.gif"
+
+
+def test_newlines_inside_tags():
+    tokens = tokenize('<img\n  src="/a.gif"\n  alt="multi">')
+    assert tokens[0].get("src") == "/a.gif"
+
+
+def test_comments_are_separate_tokens():
+    tokens = tokenize('before<!-- <img src="/hidden.gif"> -->after')
+    assert kinds(tokens) == ["text", "comment", "text"]
+    assert "/hidden.gif" in tokens[1].data
+
+
+def test_commented_images_not_discovered():
+    from repro.content import find_image_urls
+    html = '<img src="/real.gif"><!-- <img src="/fake.gif"> -->'
+    assert find_image_urls(html) == ["/real.gif"]
+
+
+def test_declaration():
+    tokens = tokenize("<!DOCTYPE html><p>x</p>")
+    assert tokens[0].kind == "declaration"
+    assert tokens[0].data.lower().startswith("doctype")
+
+
+def test_stray_angle_bracket_is_text():
+    tokens = tokenize("a < b and <> then <p>x</p>")
+    assert tokens[0].kind == "text"
+    joined = "".join(t.data for t in tokens if t.kind == "text")
+    assert "a " in joined
+
+
+def test_incremental_matches_oneshot():
+    html = ('<html><!-- note --><body>'
+            + "".join(f'<img src="/i{n}.gif" alt="n{n}">'
+                      for n in range(20))
+            + "</body></html>")
+    oneshot = tokenize(html)
+    for step in (1, 2, 3, 7, 64):
+        tokenizer = HtmlTokenizer()
+        streamed = []
+        for i in range(0, len(html), step):
+            streamed.extend(tokenizer.feed(html[i:i + step]))
+        streamed.extend(tokenizer.finish())
+        # Text tokens may be split differently; compare non-text and
+        # the concatenated text.
+        assert [t for t in streamed if t.kind != "text"] == \
+            [t for t in oneshot if t.kind != "text"]
+        assert "".join(t.data for t in streamed if t.kind == "text") == \
+            "".join(t.data for t in oneshot if t.kind == "text")
+
+
+def test_comment_split_across_chunks():
+    tokenizer = HtmlTokenizer()
+    tokens = tokenizer.feed("<!")
+    tokens += tokenizer.feed("-- hidden <img src=/x.gif> --")
+    tokens += tokenizer.feed("><p>y</p>")
+    assert kinds(tokens) == ["comment", "start", "text", "end"]
+
+
+def test_microscape_tokenizes_fully():
+    from repro.content import build_microscape_site
+    html = build_microscape_site().html.body.decode("latin-1")
+    tokens = tokenize(html)
+    images = [t for t in tokens
+              if t.kind == "start" and t.data == "img"]
+    assert len(images) == 42
+    assert all(t.get("src") for t in images)
+    assert all(t.get("width") for t in images)
+
+
+@settings(max_examples=50)
+@given(st.text(alphabet="<>ab-! =\"'/", max_size=120),
+       st.integers(1, 9))
+def test_tokenizer_never_crashes_and_is_chunking_invariant(html, step):
+    oneshot = tokenize(html)
+    tokenizer = HtmlTokenizer()
+    streamed = []
+    for i in range(0, len(html), step):
+        streamed.extend(tokenizer.feed(html[i:i + step]))
+    streamed.extend(tokenizer.finish())
+    assert [t for t in streamed if t.kind != "text"] == \
+        [t for t in oneshot if t.kind != "text"]

@@ -1,0 +1,76 @@
+"""Tests for the Navigator / Internet Explorer profiles (Tables 10-11)."""
+
+import pytest
+
+from repro.core import FIRST_TIME, HTTP10_MODE, REVALIDATE, run_experiment
+from repro.core.browsers import BROWSERS, IE_40B1, NETSCAPE_40B5
+from repro.http import HTTP10
+from repro.server import APACHE, JIGSAW
+from repro.simnet import LAN
+
+
+def run_browser(browser, scenario, profile):
+    return run_experiment(HTTP10_MODE, scenario, LAN, profile, seed=0,
+                          client_config=browser.client_config())
+
+
+def test_browser_configs():
+    for browser in BROWSERS:
+        config = browser.client_config()
+        assert config.http_version == HTTP10
+        assert config.keep_alive
+        assert config.max_connections == 4
+        assert not config.pipeline
+    assert NETSCAPE_40B5.allow_date_fallback
+    assert not IE_40B1.allow_date_fallback
+
+
+def test_browser_requests_more_verbose_than_robot():
+    from repro.core import HTTP11_PIPELINED
+    robot = run_experiment(HTTP11_PIPELINED, FIRST_TIME, LAN, APACHE,
+                           seed=0)
+    netscape = run_browser(NETSCAPE_40B5, FIRST_TIME, APACHE)
+    assert (netscape.fetch.mean_request_bytes
+            > robot.fetch.mean_request_bytes + 80)
+
+
+def test_netscape_validates_against_both_servers():
+    """Date fallback lets Navigator get 304s even from Jigsaw."""
+    for profile in (APACHE, JIGSAW):
+        result = run_browser(NETSCAPE_40B5, REVALIDATE, profile)
+        assert result.statuses.get(304, 0) == 43
+
+
+def test_ie_validates_against_apache():
+    result = run_browser(IE_40B1, REVALIDATE, APACHE)
+    assert result.statuses.get(304, 0) == 43
+
+
+def test_ie_degrades_against_jigsaw():
+    """No Last-Modified from Jigsaw => IE re-GETs the HTML and HEADs
+    the images; Jigsaw drops keep-alive after HEAD, so IE pays a fresh
+    connection per image (the Table 10 blow-up)."""
+    apache = run_browser(IE_40B1, REVALIDATE, APACHE)
+    jigsaw = run_browser(IE_40B1, REVALIDATE, JIGSAW)
+    assert jigsaw.payload_bytes > 2.0 * apache.payload_bytes
+    assert jigsaw.packets > 2.0 * apache.packets
+    assert jigsaw.connections_used >= 40
+    # The HTML body crossed the wire again.
+    assert jigsaw.statuses.get(200, 0) >= 42
+
+
+def test_netscape_beats_ie_on_jigsaw_reval():
+    netscape = run_browser(NETSCAPE_40B5, REVALIDATE, JIGSAW)
+    ie = run_browser(IE_40B1, REVALIDATE, JIGSAW)
+    assert netscape.packets < ie.packets / 2
+    assert netscape.payload_bytes < ie.payload_bytes / 2
+
+
+def test_robot_pipeline_beats_browsers():
+    """The tuned HTTP/1.1 robot outperforms both product browsers."""
+    from repro.core import HTTP11_PIPELINED
+    robot = run_experiment(HTTP11_PIPELINED, REVALIDATE, LAN, APACHE,
+                           seed=0)
+    for browser in BROWSERS:
+        result = run_browser(browser, REVALIDATE, APACHE)
+        assert robot.packets < result.packets

@@ -1,0 +1,100 @@
+"""Tests for the rendering-timeline model and ranged prefix fetching."""
+
+import pytest
+
+from repro.client.robot import ClientConfig, TAIL_MARKER
+from repro.core.render import GIF_DIMENSION_BYTES, measure_render
+from repro.http import HTTP10, HTTP11
+from repro.server import APACHE
+from repro.simnet import LAN, PPP
+
+
+def cfg(**kwargs):
+    return ClientConfig(http_version=HTTP11, pipeline=True, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def ppp_pipelined():
+    return measure_render(cfg(), PPP, APACHE)
+
+
+@pytest.fixture(scope="module")
+def ppp_ranged():
+    return measure_render(cfg(range_prefix_bytes=256), PPP, APACHE)
+
+
+def test_milestones_are_ordered(ppp_pipelined):
+    m = ppp_pipelined
+    assert m.first_html_byte is not None
+    assert m.first_html_byte <= m.html_complete
+    assert m.first_image_complete <= m.full_render
+    assert m.layout_complete <= m.full_render
+    assert m.verified
+
+
+def test_ranged_fetch_verifies_reassembly(ppp_ranged):
+    """Prefix + tail reassemble to the exact original bytes."""
+    assert ppp_ranged.verified
+
+
+def test_ranges_accelerate_layout(ppp_pipelined, ppp_ranged):
+    """The paper's claim: with range requests, "HTTP/1.1 can perform
+    well over a single connection" for interactive feel — every image's
+    dimensions arrive long before the bodies."""
+    assert ppp_ranged.layout_complete < ppp_pipelined.layout_complete * 0.6
+
+
+def test_ranges_cost_little_total_time(ppp_pipelined, ppp_ranged):
+    assert ppp_ranged.full_render < ppp_pipelined.full_render * 1.15
+
+
+def test_parallel_connections_also_help_layout(ppp_pipelined):
+    """HTTP/1.0's four connections get early dimensions too — the
+    behaviour the paper says range requests replace."""
+    http10 = measure_render(
+        ClientConfig(http_version=HTTP10, max_connections=4), PPP,
+        APACHE)
+    assert http10.verified
+    assert http10.layout_complete < ppp_pipelined.layout_complete
+
+
+def test_lan_timeline_fast():
+    metrics = measure_render(cfg(), LAN, APACHE)
+    assert metrics.full_render < 1.0
+    assert metrics.verified
+
+
+def test_tail_requests_created_only_for_large_images():
+    """Images smaller than the prefix complete in one 206."""
+    from repro.content import build_microscape_site
+    from repro.core.runner import _resource_store
+    from repro.core.render import _RenderObserver
+    from repro.http import MemoryCache
+    from repro.server.base import SimHttpServer
+    from repro.simnet.network import SERVER_HOST, TwoHostNetwork
+    from repro.client.robot import Robot, FIRST_TIME
+
+    site = build_microscape_site()
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, _resource_store(site), APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80,
+                  cfg(range_prefix_bytes=256), MemoryCache())
+    result = robot.fetch(site.html_url, FIRST_TIME)
+    net.run()
+    assert result.complete
+    tails = [u for u in result.responses if u.endswith(TAIL_MARKER)]
+    small = [o for o in site.image_objects if o.size <= 256]
+    large = [o for o in site.image_objects if o.size > 256]
+    assert len(tails) == len(large)
+    for obj in small:
+        assert obj.url + TAIL_MARKER not in result.responses
+
+
+def test_dimension_threshold_matches_gif_header():
+    """A GIF's dimensions live in its first 10 bytes."""
+    import struct
+    from repro.content import bullet, encode_gif
+    wire = encode_gif(bullet(8))
+    assert GIF_DIMENSION_BYTES == 10
+    width, height = struct.unpack_from("<HH", wire, 6)
+    assert (width, height) == (8, 8)

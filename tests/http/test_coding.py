@@ -1,0 +1,78 @@
+"""Unit and property tests for content codings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http import (Headers, accepted_codings, choose_coding,
+                        compression_ratio, decode_body, deflate_decode,
+                        deflate_encode, encode_body, gzip_decode,
+                        gzip_encode)
+
+
+def test_deflate_roundtrip():
+    data = b"<html><body>" + b"The quick brown fox. " * 100 + b"</body></html>"
+    assert deflate_decode(deflate_encode(data)) == data
+
+
+def test_deflate_accepts_raw_stream():
+    """Some 1990s peers sent raw DEFLATE without the zlib wrapper."""
+    import zlib
+    compressor = zlib.compressobj(wbits=-zlib.MAX_WBITS)
+    raw = compressor.compress(b"legacy raw deflate") + compressor.flush()
+    assert deflate_decode(raw) == b"legacy raw deflate"
+
+
+def test_gzip_roundtrip():
+    data = b"payload " * 50
+    assert gzip_decode(gzip_encode(data)) == data
+
+
+def test_encode_decode_by_name():
+    for coding in ("identity", "deflate", "gzip"):
+        assert decode_body(encode_body(b"abc", coding), coding) == b"abc"
+
+
+def test_unknown_coding_raises():
+    with pytest.raises(ValueError):
+        encode_body(b"x", "brotli")
+    with pytest.raises(ValueError):
+        decode_body(b"x", "compress")
+
+
+def test_html_compresses_about_three_times():
+    """The paper: deflate shrank the 42K Microscape HTML to ~11K (~3x)."""
+    html = (b"<html><head><title>test</title></head><body>"
+            + b"<p class=banner>solutions</p><img src=\"/i/x.gif\">" * 400
+            + b"</body></html>")
+    ratio = compression_ratio(html)
+    assert ratio < 0.40
+
+
+def test_accepted_codings_parsing():
+    headers = Headers([("Accept-Encoding", "deflate, gzip;q=0.5")])
+    assert accepted_codings(headers) == ["deflate", "gzip"]
+
+
+def test_choose_coding_negotiation():
+    wants_deflate = Headers([("Accept-Encoding", "deflate")])
+    assert choose_coding(wants_deflate) == "deflate"
+    wants_nothing = Headers()
+    assert choose_coding(wants_nothing) == "identity"
+    wants_brotli = Headers([("Accept-Encoding", "br")])
+    assert choose_coding(wants_brotli) == "identity"
+    wants_gzip = Headers([("Accept-Encoding", "gzip")])
+    assert choose_coding(wants_gzip, available=["deflate", "gzip"]) == "gzip"
+
+
+def test_compression_ratio_of_empty_is_one():
+    assert compression_ratio(b"") == 1.0
+
+
+@given(st.binary(max_size=5000))
+def test_deflate_roundtrip_property(data):
+    assert deflate_decode(deflate_encode(data)) == data
+
+
+@given(st.binary(max_size=2000))
+def test_gzip_roundtrip_property(data):
+    assert gzip_decode(gzip_encode(data)) == data

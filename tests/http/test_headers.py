@@ -1,0 +1,82 @@
+"""Unit tests for the Headers multimap."""
+
+import pytest
+
+from repro.http import Headers
+
+
+def test_case_insensitive_lookup():
+    h = Headers([("Content-Type", "text/html")])
+    assert h.get("content-type") == "text/html"
+    assert h.get("CONTENT-TYPE") == "text/html"
+    assert "cOnTeNt-TyPe" in h
+
+
+def test_original_spelling_preserved_on_wire():
+    h = Headers([("X-WeIrD", "v")])
+    assert h.to_bytes() == b"X-WeIrD: v\r\n"
+
+
+def test_add_keeps_duplicates_set_replaces():
+    h = Headers()
+    h.add("Accept", "a")
+    h.add("Accept", "b")
+    assert h.get_all("accept") == ["a", "b"]
+    h.set("Accept", "c")
+    assert h.get_all("accept") == ["c"]
+
+
+def test_remove_returns_count():
+    h = Headers([("A", "1"), ("a", "2"), ("B", "3")])
+    assert h.remove("A") == 2
+    assert "A" not in h
+    assert h.get("B") == "3"
+
+
+def test_get_default():
+    assert Headers().get("Missing", "fallback") == "fallback"
+    assert Headers().get("Missing") is None
+
+
+def test_get_int():
+    h = Headers([("Content-Length", " 42 "), ("Bad", "xyz")])
+    assert h.get_int("Content-Length") == 42
+    assert h.get_int("Bad") is None
+    assert h.get_int("Missing") is None
+
+
+def test_contains_token():
+    h = Headers([("Connection", "Keep-Alive, Upgrade")])
+    assert h.contains_token("Connection", "keep-alive")
+    assert h.contains_token("connection", "upgrade")
+    assert not h.contains_token("Connection", "close")
+
+
+def test_from_lines_roundtrip():
+    original = Headers([("Host", "www26.w3.org"), ("Accept", "*/*")])
+    lines = original.to_bytes().decode("latin-1").split("\r\n")
+    parsed = Headers.from_lines([ln for ln in lines if ln])
+    assert parsed == original
+
+
+def test_from_lines_folds_continuations():
+    parsed = Headers.from_lines(["X-Long: part one", "\tpart two"])
+    assert parsed.get("X-Long") == "part one part two"
+
+
+def test_from_lines_rejects_garbage():
+    with pytest.raises(ValueError):
+        Headers.from_lines(["no colon here"])
+
+
+def test_copy_is_independent():
+    h = Headers([("A", "1")])
+    copy = h.copy()
+    copy.set("A", "2")
+    assert h.get("A") == "1"
+
+
+def test_len_and_iter():
+    h = Headers([("A", "1"), ("B", "2")])
+    assert len(h) == 2
+    assert list(h) == [("A", "1"), ("B", "2")]

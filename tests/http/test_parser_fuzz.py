@@ -1,0 +1,160 @@
+"""Property-based fuzzing of the HTTP parsers.
+
+Pipelining makes parser robustness load-bearing: any message boundary
+can fall anywhere in the TCP stream.  These tests generate random valid
+message sequences, slice them arbitrarily, and require byte-exact
+recovery — and require that arbitrary garbage never crashes the parser
+with anything other than ``ParseError``.
+"""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.http import (Headers, ParseError, Request, RequestParser,
+                        Response, ResponseParser, encode_chunked)
+
+_token = st.text(alphabet=string.ascii_letters + string.digits,
+                 min_size=1, max_size=10)
+_path = st.lists(_token, min_size=1, max_size=4).map(
+    lambda parts: "/" + "/".join(parts))
+_header_value = st.text(
+    alphabet=string.ascii_letters + string.digits + " -/.;=\"",
+    min_size=0, max_size=30).map(str.strip)
+_headers = st.lists(st.tuples(_token, _header_value), max_size=5)
+
+
+@st.composite
+def requests(draw):
+    method = draw(st.sampled_from(["GET", "HEAD", "POST"]))
+    headers = Headers(draw(_headers))
+    headers.remove("Content-Length")
+    headers.remove("Transfer-Encoding")
+    body = b""
+    if method == "POST":
+        body = draw(st.binary(max_size=200))
+        if draw(st.booleans()):
+            headers.set("Content-Length", str(len(body)))
+        else:
+            headers.set("Transfer-Encoding", "chunked")
+    request = Request(method, draw(_path), (1, 1), headers)
+    if headers.contains_token("Transfer-Encoding", "chunked"):
+        wire = request.to_bytes() + encode_chunked(body, chunk_size=48)
+    else:
+        wire = request.to_bytes() + body
+    request.body = body
+    return request, wire
+
+
+@st.composite
+def responses(draw):
+    method = draw(st.sampled_from(["GET", "HEAD"]))
+    status = draw(st.sampled_from([200, 206, 304, 404]))
+    headers = Headers(draw(_headers))
+    headers.remove("Content-Length")
+    headers.remove("Transfer-Encoding")
+    body = b""
+    response = Response(status, (1, 1), headers, request_method=method)
+    if method == "GET" and status not in (204, 304):
+        body = draw(st.binary(max_size=300))
+        if draw(st.booleans()):
+            headers.set("Content-Length", str(len(body)))
+            response.body = body
+            wire = response.to_bytes()
+        else:
+            headers.set("Transfer-Encoding", "chunked")
+            wire = response.to_bytes() + encode_chunked(body,
+                                                        chunk_size=64)
+    else:
+        headers.set("Content-Length", str(len(body)))
+        wire = response.to_bytes()
+    response.body = body
+    return response, method, wire
+
+
+def slices(data: bytes, cuts):
+    """Split ``data`` at the (sorted, deduped) cut offsets."""
+    offsets = sorted({min(c, len(data)) for c in cuts})
+    pieces = []
+    last = 0
+    for offset in offsets:
+        pieces.append(data[last:offset])
+        last = offset
+    pieces.append(data[last:])
+    return pieces
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(requests(), min_size=1, max_size=5), st.data())
+def test_request_stream_roundtrip(items, data):
+    wire = b"".join(w for _, w in items)
+    cuts = data.draw(st.lists(st.integers(0, max(0, len(wire))),
+                              max_size=12))
+    parser = RequestParser()
+    parsed = []
+    for piece in slices(wire, cuts):
+        parsed.extend(parser.feed(piece))
+    assert len(parsed) == len(items)
+    for (original, _), result in zip(items, parsed):
+        assert result.method == original.method
+        assert result.target == original.target
+        assert result.body == original.body
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(responses(), min_size=1, max_size=5), st.data())
+def test_response_stream_roundtrip(items, data):
+    wire = b"".join(w for _, _, w in items)
+    parser = ResponseParser()
+    for _, method, _ in items:
+        parser.expect(method)
+    cuts = data.draw(st.lists(st.integers(0, max(0, len(wire))),
+                              max_size=12))
+    parsed = []
+    for piece in slices(wire, cuts):
+        parsed.extend(parser.feed(piece))
+    assert len(parsed) == len(items)
+    for (original, _, _), result in zip(items, parsed):
+        assert result.status == original.status
+        assert result.body == original.body
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=400))
+def test_garbage_never_crashes_request_parser(noise):
+    parser = RequestParser()
+    try:
+        parser.feed(noise)
+    except ParseError:
+        pass        # the only acceptable exception
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=400))
+def test_garbage_never_crashes_response_parser(noise):
+    parser = ResponseParser()
+    parser.expect("GET")
+    try:
+        parser.feed(noise)
+        parser.eof()
+    except ParseError:
+        pass
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_valid_prefix_then_garbage(prefix_body, noise):
+    """A valid message followed by garbage: the message still parses."""
+    good = Response(200, (1, 1),
+                    Headers([("Content-Length", str(len(prefix_body)))]),
+                    body=prefix_body)
+    parser = ResponseParser()
+    parser.expect("GET")
+    parser.expect("GET")
+    try:
+        parsed = parser.feed(good.to_bytes() + noise)
+    except ParseError:
+        parsed = []
+    if parsed:
+        assert parsed[0].body == prefix_body

@@ -1,0 +1,89 @@
+"""Unit tests for byte ranges and If-Range."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.http import (ByteRange, Headers, apply_range, content_range,
+                        if_range_matches, parse_range_header)
+
+
+def test_simple_range():
+    ranges = parse_range_header("bytes=0-99", 1000)
+    assert ranges == [ByteRange(0, 99)]
+    assert ranges[0].length == 100
+
+
+def test_open_ended_range():
+    assert parse_range_header("bytes=500-", 600) == [ByteRange(500, 599)]
+
+
+def test_suffix_range():
+    assert parse_range_header("bytes=-100", 600) == [ByteRange(500, 599)]
+
+
+def test_suffix_larger_than_entity():
+    assert parse_range_header("bytes=-9999", 100) == [ByteRange(0, 99)]
+
+
+def test_end_clamped_to_entity():
+    assert parse_range_header("bytes=0-9999", 50) == [ByteRange(0, 49)]
+
+
+def test_multiple_ranges():
+    ranges = parse_range_header("bytes=0-9, 20-29", 100)
+    assert ranges == [ByteRange(0, 9), ByteRange(20, 29)]
+
+
+def test_unsatisfiable_range():
+    assert parse_range_header("bytes=500-600", 100) == []
+
+
+def test_non_bytes_unit_raises():
+    with pytest.raises(ValueError):
+        parse_range_header("lines=1-2", 100)
+
+
+def test_malformed_spec_raises():
+    with pytest.raises(ValueError):
+        parse_range_header("bytes=abc", 100)
+
+
+def test_zero_suffix_ignored():
+    assert parse_range_header("bytes=-0", 100) == []
+
+
+def test_content_range_format():
+    assert content_range(ByteRange(0, 99), 1000) == "bytes 0-99/1000"
+
+
+def test_apply_range_sets_headers():
+    headers = Headers()
+    body = bytes(range(100))
+    partial = apply_range(body, headers, ByteRange(10, 19))
+    assert partial == bytes(range(10, 20))
+    assert headers.get("Content-Range") == "bytes 10-19/100"
+    assert headers.get("Content-Length") == "10"
+
+
+def test_if_range_absent_allows_range():
+    assert if_range_matches(None, '"v1"', None)
+
+
+def test_if_range_etag():
+    assert if_range_matches('"v1"', '"v1"', None)
+    assert not if_range_matches('"v1"', '"v2"', None)
+    assert not if_range_matches('"v1"', None, None)
+
+
+def test_if_range_date():
+    date = "Tue, 24 Jun 1997 00:00:00 GMT"
+    assert if_range_matches(date, None, date)
+    assert not if_range_matches(date, None, "Wed, 25 Jun 1997 00:00:00 GMT")
+
+
+@given(st.binary(min_size=1, max_size=500), st.data())
+def test_range_slice_property(body, data):
+    start = data.draw(st.integers(0, len(body) - 1))
+    end = data.draw(st.integers(start, len(body) - 1))
+    ranges = parse_range_header(f"bytes={start}-{end}", len(body))
+    assert ranges[0].slice(body) == body[start:end + 1]

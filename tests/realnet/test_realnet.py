@@ -1,0 +1,122 @@
+"""Integration tests: real sockets on localhost."""
+
+import dataclasses
+
+import pytest
+
+from repro.content import build_microscape_site
+from repro.realnet import RealHttpClient, RealHttpServer
+from repro.server import APACHE, APACHE_12B2, ResourceStore
+
+
+@pytest.fixture(scope="module")
+def site():
+    return build_microscape_site()
+
+
+@pytest.fixture(scope="module")
+def store(site):
+    return ResourceStore.from_site(site)
+
+
+@pytest.fixture()
+def server(store):
+    with RealHttpServer(store, APACHE) as running:
+        yield running
+
+
+def test_single_get(server, store):
+    with RealHttpClient(*server.address) as client:
+        response = client.get("/home.html")
+    assert response.status == 200
+    assert response.body == store.get("/home.html").body
+    assert response.headers.get("ETag") == store.get("/home.html").etag
+
+
+def test_404(server):
+    with RealHttpClient(*server.address) as client:
+        assert client.get("/missing").status == 404
+
+
+def test_persistent_connection_reused(server):
+    with RealHttpClient(*server.address) as client:
+        client.get("/gifs/bullet0.gif")
+        client.get("/gifs/bullet1.gif")
+        assert client.connections_opened == 1
+    assert server.connections_accepted == 1
+
+
+def test_pipelined_batch(server, store, site):
+    urls = site.all_urls()
+    with RealHttpClient(*server.address) as client:
+        responses = client.pipeline(urls)
+    assert len(responses) == 43
+    for url, response in zip(urls, responses):
+        assert response.status == 200
+        assert response.body == store.get(url).body
+
+
+def test_conditional_get_roundtrip(server, store):
+    with RealHttpClient(*server.address) as client:
+        first = client.get("/gifs/hero.gif")
+        assert first.status == 200
+        second = client.get("/gifs/hero.gif", conditional=True)
+    assert second.status == 304
+    # Cache handed back the stored body.
+    assert second.body == store.get("/gifs/hero.gif").body
+
+
+def test_deflate_end_to_end(server, store):
+    with RealHttpClient(*server.address) as client:
+        response = client.get("/home.html", accept_deflate=True)
+    # Client inflated transparently; body matches the original.
+    assert response.body == store.get("/home.html").body
+
+
+def test_range_request(server, store):
+    with RealHttpClient(*server.address) as client:
+        response = client.get("/gifs/hero.gif",
+                              headers=[("Range", "bytes=0-99")])
+    assert response.status == 206
+    assert response.body == store.get("/gifs/hero.gif").body[:100]
+
+
+def test_head_request(server):
+    with RealHttpClient(*server.address) as client:
+        response = client.request(
+            client.build_request("/home.html", method="HEAD"))
+    assert response.status == 200
+    assert response.body == b""
+    assert response.headers.get_int("Content-Length") > 0
+
+
+def test_request_cap_recovery(store, site):
+    """Against an Apache-1.2b2-style server the pipelining client must
+    retry on fresh connections and still retrieve everything."""
+    with RealHttpServer(store, APACHE_12B2) as server:
+        urls = site.all_urls()
+        with RealHttpClient(*server.address) as client:
+            responses = client.pipeline(urls)
+        assert len(responses) == 43
+        assert all(r.status == 200 for r in responses)
+        assert client.connections_opened >= 8
+    # No request was dropped or duplicated.
+    assert server.requests_served >= 43
+
+
+def test_parallel_clients(server, store, site):
+    import threading
+    results = []
+
+    def fetch():
+        with RealHttpClient(*server.address) as client:
+            results.append(client.pipeline(site.all_urls()[:10]))
+
+    threads = [threading.Thread(target=fetch) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(results) == 4
+    for batch in results:
+        assert all(r.status == 200 for r in batch)

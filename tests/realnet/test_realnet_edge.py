@@ -1,0 +1,108 @@
+"""Edge cases for the real-socket server and client."""
+
+import socket
+
+import pytest
+
+from repro.content import build_microscape_site
+from repro.http import HTTP10, Headers, Request
+from repro.realnet import RealHttpClient, RealHttpServer
+from repro.server import APACHE, JIGSAW, ResourceStore
+
+
+@pytest.fixture(scope="module")
+def store():
+    return ResourceStore.from_site(build_microscape_site())
+
+
+@pytest.fixture()
+def server(store):
+    with RealHttpServer(store, APACHE) as running:
+        yield running
+
+
+def raw_exchange(address, payload, read_timeout=2.0):
+    sock = socket.create_connection(address, timeout=read_timeout)
+    sock.sendall(payload)
+    data = b""
+    try:
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+    except socket.timeout:
+        pass
+    sock.close()
+    return data
+
+
+def test_garbage_gets_400(server):
+    data = raw_exchange(server.address, b"NONSENSE\r\n\r\n")
+    assert data.startswith(b"HTTP/1.0 400")
+
+
+def test_http10_connection_closes_after_response(server, store):
+    request = Request("GET", "/gifs/bullet0.gif", HTTP10,
+                      Headers([("Host", "h")]))
+    data = raw_exchange(server.address, request.to_bytes())
+    assert data.startswith(b"HTTP/1.0 200")
+    assert data.endswith(store.get("/gifs/bullet0.gif").body)
+
+
+def test_http10_keepalive_round_trip(server):
+    sock = socket.create_connection(server.address, timeout=2.0)
+    ka = Request("GET", "/gifs/bullet0.gif", HTTP10, Headers([
+        ("Host", "h"), ("Connection", "Keep-Alive")]))
+    sock.sendall(ka.to_bytes())
+    first = sock.recv(65536)
+    assert b"Keep-Alive" in first
+    sock.sendall(ka.to_bytes())
+    second = sock.recv(65536)
+    assert second.startswith(b"HTTP/1.0 200")
+    sock.close()
+
+
+def test_jigsaw_profile_served_over_sockets(store):
+    with RealHttpServer(store, JIGSAW) as server:
+        with RealHttpClient(*server.address) as client:
+            response = client.get("/home.html")
+    assert response.headers.get("Server") == "Jigsaw/1.06"
+    assert "Last-Modified" not in response.headers
+    assert response.headers.get("ETag")
+
+
+def test_stop_is_idempotent_and_restartable(store):
+    server = RealHttpServer(store, APACHE)
+    server.start()
+    address = server.address
+    server.stop()
+    server.stop()
+    with pytest.raises(RuntimeError):
+        _ = server.address
+    # A new instance can bind again immediately (SO_REUSEADDR).
+    with RealHttpServer(store, APACHE, port=address[1]) as again:
+        with RealHttpClient(*again.address) as client:
+            assert client.get("/gifs/bullet0.gif").status == 200
+
+
+def test_double_start_rejected(store):
+    server = RealHttpServer(store, APACHE).start()
+    try:
+        with pytest.raises(RuntimeError):
+            server.start()
+    finally:
+        server.stop()
+
+
+def test_multipart_over_sockets(server, store):
+    from repro.http import parse_multipart_byteranges
+    with RealHttpClient(*server.address) as client:
+        response = client.get(
+            "/gifs/hero.gif", headers=[("Range", "bytes=0-9, 50-59")])
+    assert response.status == 206
+    parts = parse_multipart_byteranges(
+        response.body, response.headers.get("Content-Type"))
+    body = store.get("/gifs/hero.gif").body
+    assert parts[0][1] == body[:10]
+    assert parts[1][1] == body[50:60]

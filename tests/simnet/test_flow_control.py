@@ -1,0 +1,170 @@
+"""Tests for TCP flow control: advertised windows, slow readers,
+zero-window stalls and persist probes."""
+
+import pytest
+
+from repro.simnet import (LAN, SERVER_HOST, TcpConfig, TwoHostNetwork)
+
+
+def make_net(client_rwnd=8192):
+    net = TwoHostNetwork(
+        LAN,
+        client_config=TcpConfig(mss=1460, rwnd=client_rwnd),
+        server_config=TcpConfig(mss=1460))
+    return net
+
+
+class SlowReader:
+    """A client that pauses reading after connecting."""
+
+    def __init__(self, net, paused=True):
+        self.net = net
+        self.data = bytearray()
+        self.eof = False
+        self.conn = net.client.connect(SERVER_HOST, 80)
+        self.conn.set_nodelay(True)
+        if paused:
+            self.conn.pause_reading()
+        self.conn.on_data = lambda c, d: self.data.extend(d)
+        self.conn.on_eof = lambda c: setattr(self, "eof", True)
+
+
+def serve_bulk(net, payload):
+    def accept(conn):
+        conn.set_nodelay(True)
+        conn.on_data = lambda c, d: c.send(payload, close=True)
+
+    net.server.listen(80, accept)
+
+
+def test_window_advertised_on_segments():
+    net = make_net(client_rwnd=4096)
+    serve_bulk(net, b"x" * 100)
+    reader = SlowReader(net, paused=False)
+    reader.conn.send(b"go")
+    net.run()
+    client_segments = [r for r in net.trace.records
+                       if r.src != SERVER_HOST]
+    assert client_segments   # traced; window checked via TCP state
+    assert reader.conn._advertised_window() == 4096
+
+
+def test_sender_stalls_at_receivers_window():
+    """A paused reader caps the unread data near its receive window."""
+    net = make_net(client_rwnd=8192)
+    payload = bytes(100 * 1460)          # 146 KB to a stalled reader
+    serve_bulk(net, payload)
+    reader = SlowReader(net, paused=True)
+    reader.conn.send(b"go")
+    net.run(until=5.0)
+    # Nothing delivered, and at most rwnd(+1 probe byte) buffered.
+    assert reader.data == bytearray()
+    assert 0 < reader.conn.recv_buffered <= 8192 + 1
+    assert not reader.eof
+
+
+def test_resume_drains_buffer_and_completes():
+    net = make_net(client_rwnd=8192)
+    payload = bytes(range(256)) * 400    # ~100 KB
+    serve_bulk(net, payload)
+    reader = SlowReader(net, paused=True)
+    reader.conn.send(b"go")
+    net.run(until=3.0)
+    resumed_chunks = []
+
+    # Resume periodically, as a slow application would.
+    def resume_tick():
+        reader.conn.resume_reading()
+        resumed_chunks.append(len(reader.data))
+        if not reader.eof:
+            reader.conn.pause_reading()
+            net.sim.schedule(0.05, resume_tick)
+
+    net.sim.schedule(0.0, resume_tick)
+    net.run()
+    assert bytes(reader.data) == payload
+    assert reader.eof
+    # Progress happened across multiple window openings.
+    assert len([c for c in resumed_chunks if c]) > 3
+
+
+def test_eof_deferred_until_buffer_drained():
+    """FIN must not surface before the buffered data."""
+    net = make_net(client_rwnd=65535)
+    payload = b"ordered payload " * 10
+    serve_bulk(net, payload)
+    reader = SlowReader(net, paused=True)
+    order = []
+    reader.conn.on_data = lambda c, d: order.append(("data", bytes(d)))
+    reader.conn.on_eof = lambda c: order.append(("eof", b""))
+    reader.conn.send(b"go")
+    net.run()
+    assert order == []          # everything held while paused
+    reader.conn.resume_reading()
+    assert order[-1][0] == "eof"
+    assert b"".join(d for kind, d in order if kind == "data") == payload
+
+
+def test_zero_window_probe_prevents_deadlock():
+    """Sender with a full window probes; transfer completes after the
+    reader resumes even though no window update was pending."""
+    net = make_net(client_rwnd=2920)     # two segments
+    payload = bytes(10 * 1460)
+    serve_bulk(net, payload)
+    reader = SlowReader(net, paused=True)
+    reader.conn.send(b"go")
+    net.run(until=4.0)
+    assert reader.conn.recv_buffered <= 2920 + 2
+    # Probes happened (1-byte reliable segments past the window).
+    server_conn_probes = [r for r in net.trace.records
+                          if r.src == SERVER_HOST and r.payload_len == 1]
+    assert server_conn_probes
+    net.sim.schedule(0.0, reader.conn.resume_reading)
+    net.run(until=8.0)
+    reader.conn.resume_reading()
+    net.run()
+    assert bytes(reader.data) == payload
+
+
+def test_window_update_not_counted_as_dup_ack():
+    """Window updates must not trigger spurious fast retransmits.
+
+    The window shrinks and re-opens repeatedly but never reaches zero,
+    so no persist probes (and hence no genuine retransmissions) occur;
+    any fast retransmit would be the dup-ack guard failing.
+    """
+    net = make_net(client_rwnd=65535)
+    payload = bytes(20 * 1460)
+    server_conns = []
+
+    def accept(conn):
+        server_conns.append(conn)
+        conn.set_nodelay(True)
+        conn.on_data = lambda c, d: c.send(payload, close=True)
+
+    net.server.listen(80, accept)
+    reader = SlowReader(net, paused=True)
+    reader.conn.send(b"go")
+    # Open and close the window a few times while data streams.
+    for _ in range(6):
+        net.run(until=net.sim.now + 0.01)
+        reader.conn.resume_reading()
+        reader.conn.pause_reading()
+    reader.conn.resume_reading()
+    net.run()
+    assert bytes(reader.data) == payload
+    assert server_conns[0].fast_retransmits == 0
+    assert server_conns[0].retransmissions == 0
+
+
+def test_fast_reader_unaffected():
+    """Default auto-consuming connections never buffer or stall."""
+    net = make_net(client_rwnd=65535)
+    payload = bytes(50 * 1460)
+    serve_bulk(net, payload)
+    reader = SlowReader(net, paused=False)
+    reader.conn.send(b"go")
+    net.run()
+    assert bytes(reader.data) == payload
+    assert reader.conn.recv_buffered == 0
+    assert net.sim.now < 0.5

@@ -1,0 +1,121 @@
+"""Unit and property tests for the V.42bis-style modem compressor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.modem import (LzwDecoder, LzwEncoder, ModemCompressor,
+                                lzw_compress, lzw_decompress)
+
+
+def test_lzw_roundtrip_simple():
+    codes, _bits = lzw_compress(b"the quick brown fox " * 20)
+    assert lzw_decompress(codes) == b"the quick brown fox " * 20
+
+
+def test_lzw_roundtrip_empty():
+    codes, _ = lzw_compress(b"")
+    assert lzw_decompress(codes) == b""
+
+
+def test_lzw_streaming_matches_oneshot():
+    data = b"abcabcabcabd" * 50
+    streaming = LzwEncoder()
+    for i in range(0, len(data), 7):
+        streaming.encode(data[i:i + 7])
+    streaming.finish()
+    decoder = LzwDecoder()
+    assert decoder.decode(streaming.codes_emitted) == data
+
+
+def test_lzw_dictionary_reset_on_overflow():
+    import random
+    rng = random.Random(3)
+    data = bytes(rng.randrange(256) for _ in range(40000))
+    codes, _ = lzw_compress(data)
+    assert 256 in codes[1:]        # CLEAR re-emitted mid-stream
+    assert lzw_decompress(codes) == data
+
+
+def test_max_string_limits_compression():
+    data = b"abcdefghij" * 200
+    unlimited = LzwEncoder(max_string=None)
+    unlimited.encode(data)
+    capped = LzwEncoder(max_string=3)
+    capped.encode(data)
+    assert capped.flush() > unlimited.flush()
+
+
+def test_max_string_roundtrip():
+    data = b"hello world, hello world, hello world" * 30
+    encoder = LzwEncoder(max_string=6)
+    encoder.encode(data)
+    encoder.finish()
+    assert LzwDecoder(max_string=6).decode(encoder.codes_emitted) == data
+
+
+@settings(max_examples=40)
+@given(st.binary(max_size=3000))
+def test_lzw_roundtrip_property(data):
+    codes, _ = lzw_compress(data)
+    assert lzw_decompress(codes) == data
+
+
+@settings(max_examples=20)
+@given(st.binary(max_size=1000), st.integers(2, 10))
+def test_lzw_capped_roundtrip_property(data, cap):
+    encoder = LzwEncoder(max_string=cap)
+    encoder.encode(data)
+    encoder.finish()
+    assert LzwDecoder(max_string=cap).decode(
+        encoder.codes_emitted) == data
+
+
+# ----------------------------------------------------------------------
+# ModemCompressor
+# ----------------------------------------------------------------------
+def test_compressible_text_shrinks_on_wire():
+    modem = ModemCompressor()
+    text = b"GET /gifs/icon0.gif HTTP/1.1\r\nHost: www26.w3.org\r\n" * 40
+    wire = modem.wire_bytes(text)
+    assert wire < len(text)
+    assert modem.compression_ratio > 1.0
+
+
+def test_incompressible_data_stays_near_raw():
+    import zlib
+    deflated = zlib.compress(b"some html body " * 500)
+    modem = ModemCompressor()
+    wire = modem.wire_bytes(deflated)
+    # Transparent mode: raw size plus the one-byte marker, at worst.
+    assert wire <= len(deflated) + ModemCompressor.MODE_MARKER_BYTES
+
+
+def test_dictionary_carries_across_packets():
+    modem = ModemCompressor(efficiency=1.0)
+    chunk = b"If-None-Match: \"0011223344\"\r\nAccept: */*\r\n\r\n"
+    first = modem.wire_bytes(chunk)
+    later = modem.wire_bytes(chunk)
+    assert later < first
+
+
+def test_empty_payload_costs_nothing():
+    assert ModemCompressor().wire_bytes(b"") == 0
+
+
+def test_efficiency_scales_savings():
+    text = b"solutions products download support " * 100
+    ideal = ModemCompressor(efficiency=1.0)
+    real = ModemCompressor(efficiency=0.25)
+    assert real.wire_bytes(text) > ideal.wire_bytes(text)
+
+
+def test_realized_ratio_matches_paper_ballpark():
+    """The paper's modem moved HTML at ~1.15-1.4x the line rate."""
+    from repro.content import build_microscape_site
+    html = build_microscape_site().html.body
+    modem = ModemCompressor()
+    total_wire = 0
+    for offset in range(0, len(html), 1460):
+        total_wire += modem.wire_bytes(html[offset:offset + 1460])
+    ratio = len(html) / total_wire
+    assert 1.05 <= ratio <= 1.5

@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_run_cell(capsys):
+    assert main(["run", "--mode", "pipelined", "--scenario",
+                 "revalidate", "--environment", "LAN",
+                 "--server", "apache"]) == 0
+    out = capsys.readouterr().out
+    assert "packets:" in out
+    assert "HTTP/1.1 Pipelined" in out
+
+
+def test_run_unknown_mode(capsys):
+    assert main(["run", "--mode", "spdy"]) == 2
+    assert "unknown mode" in capsys.readouterr().err
+
+
+def test_table_5(capsys):
+    assert main(["table", "5", "--runs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 5" in out
+    assert "Pa(paper)" in out
+
+
+def test_table_3(capsys):
+    assert main(["table", "3", "--runs", "1"]) == 0
+    assert "Table 3" in capsys.readouterr().out
+
+
+def test_table_out_of_range(capsys):
+    assert main(["table", "12"]) == 2
+
+
+def test_modem(capsys):
+    assert main(["modem", "--runs", "1"]) == 0
+    assert "Modem compression" in capsys.readouterr().out
+
+
+def test_content(capsys):
+    assert main(["content"]) == 0
+    out = capsys.readouterr().out
+    assert "static PNG total" in out
+
+
+def test_site(capsys):
+    assert main(["site"]) == 0
+    out = capsys.readouterr().out
+    assert "/home.html" in out
+    assert "/gifs/hero.gif" in out
+    assert "TOTAL" in out
+
+
+def test_help_exits_zero():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--help"])
+    assert excinfo.value.code == 0
