@@ -8,6 +8,10 @@ Each ``bench_tableNN.py`` module does three things:
    the paper's shape** — orderings and approximate factors,
 3. **print** the measured-vs-paper table (visible with ``pytest -s``).
 
+Tables 4–9 share one grid layout, so :func:`protocol_table_suite`
+builds the whole module namespace (fixture plus test) and each
+``bench_table0N.py`` reduces to a two-line shim.
+
 Absolute numbers are not asserted tightly: the substrate is a
 simulator, not the authors' testbed.  Shape is.
 """
@@ -16,41 +20,42 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+import pytest
+
 from repro.analysis.paperdata import PROTOCOL_TABLES, PaperCell
-from repro.core import (FIRST_TIME, REVALIDATE, TABLE_MODES,
-                        run_experiment)
-from repro.core.runner import RunResult
-from repro.analysis import PROFILE_BY_NAME, TABLE_NUMBERS
-from repro.simnet.link import ENVIRONMENTS
+from repro.analysis import TABLE_NUMBERS
+from repro.core import FIRST_TIME, REVALIDATE, TABLE_MODES
+from repro.core.runner import AveragedResult
+from repro.matrix import ExperimentSpec, MatrixRunner, run_unit
 
 __all__ = ["run_protocol_table", "assert_protocol_table_shape",
-           "format_cells", "representative_cell"]
+           "format_cells", "representative_cell",
+           "protocol_table_suite"]
 
-Cells = Dict[Tuple[str, str], RunResult]
+Cells = Dict[Tuple[str, str], AveragedResult]
 
 
 def run_protocol_table(server_name: str, environment_name: str) -> Cells:
     """Run every (mode, scenario) cell of one table with one seed."""
-    profile = PROFILE_BY_NAME[server_name]
-    environment = ENVIRONMENTS[environment_name]
-    cells: Cells = {}
-    for mode in TABLE_MODES[environment_name]:
-        for scenario in (FIRST_TIME, REVALIDATE):
-            cells[(mode.name, scenario)] = run_experiment(
-                mode, scenario, environment, profile, seed=0)
-    return cells
+    keys = [(mode.name, scenario)
+            for mode in TABLE_MODES[environment_name]
+            for scenario in (FIRST_TIME, REVALIDATE)]
+    specs = [ExperimentSpec(mode=mode_name, scenario=scenario,
+                            environment=environment_name,
+                            server=server_name, seeds=(0,))
+             for mode_name, scenario in keys]
+    results = MatrixRunner().run_many(specs)
+    return dict(zip(keys, results))
 
 
 def representative_cell(server_name: str, environment_name: str):
     """The cell benchmarked for wall-clock: pipelined first retrieval."""
-    profile = PROFILE_BY_NAME[server_name]
-    environment = ENVIRONMENTS[environment_name]
+    spec = ExperimentSpec(mode="pipelined", scenario=FIRST_TIME,
+                          environment=environment_name,
+                          server=server_name, seeds=(0,))
 
-    def run() -> RunResult:
-        return run_experiment(
-            next(m for m in TABLE_MODES[environment_name] if m.pipeline
-                 and not m.compression),
-            FIRST_TIME, environment, profile, seed=0)
+    def run():
+        return run_unit(spec, 0)[0]
 
     return run
 
@@ -111,3 +116,35 @@ def format_cells(server_name: str, environment_name: str,
             f"{cell.payload_bytes:8.0f} {expected.payload_bytes:8.0f} "
             f"{cell.elapsed:7.2f} {expected.seconds:7.2f}")
     return "\n".join(lines)
+
+
+def protocol_table_suite(server_name: str, environment_name: str,
+                         number: int) -> Dict[str, object]:
+    """Build a bench_tableNN module namespace (fixture + test).
+
+    Use as ``globals().update(protocol_table_suite("Jigsaw", "LAN", 4))``
+    so the grid definition lives in one place and the per-table modules
+    stay declarative.
+    """
+
+    @pytest.fixture(scope="module", name="cells")
+    def cells_fixture():
+        return run_protocol_table(server_name, environment_name)
+
+    def test_table(benchmark, cells):
+        result = benchmark(representative_cell(server_name,
+                                               environment_name))
+        # run_unit raises ExperimentError on an incomplete or corrupt
+        # transfer, so a returned result is a completed one.
+        assert result.packets > 0
+        assert result.elapsed > 0
+        assert_protocol_table_shape(server_name, environment_name, cells)
+        print()
+        print(format_cells(server_name, environment_name, cells))
+
+    return {
+        "SERVER": server_name,
+        "ENVIRONMENT": environment_name,
+        "cells": cells_fixture,
+        f"test_table{number:02d}": test_table,
+    }

@@ -26,7 +26,8 @@ SIZES = (128, 256, 512, 1024, 2048, 4096, 8192)
 def run_with_buffer(size, seed=0):
     config = ClientConfig(http_version=HTTP11, pipeline=True,
                           output_buffer_size=size)
-    return run_experiment(HTTP11_PIPELINED, FIRST_TIME, WAN, APACHE,
+    return run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=WAN,
+                          profile=APACHE,
                           seed=seed, client_config=config)
 
 

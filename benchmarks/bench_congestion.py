@@ -35,7 +35,8 @@ def run_with_bottleneck(mode, seed=0, queue=QUEUE_PACKETS):
 
     runner_mod.TwoHostNetwork = patched
     try:
-        result = run_experiment(mode, FIRST_TIME, WAN, APACHE, seed=seed)
+        result = run_experiment(mode, FIRST_TIME, environment=WAN,
+                                profile=APACHE, seed=seed)
     finally:
         runner_mod.TwoHostNetwork = original
     return result, created[0].link.segments_dropped

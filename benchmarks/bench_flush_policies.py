@@ -24,7 +24,8 @@ def config(flush_timeout, explicit):
 
 def run(flush_timeout, explicit, seed=0):
     return run_experiment(
-        HTTP11_PIPELINED, REVALIDATE, LAN, APACHE, seed=seed,
+        HTTP11_PIPELINED, REVALIDATE, environment=LAN, profile=APACHE,
+        seed=seed,
         client_config=config(flush_timeout, explicit))
 
 

@@ -33,7 +33,8 @@ def run_lossy(mode, seed=0, loss=LOSS):
 
     runner_mod.TwoHostNetwork = lossy_network
     try:
-        return run_experiment(mode, FIRST_TIME, WAN, APACHE, seed=seed)
+        return run_experiment(mode, FIRST_TIME, environment=WAN,
+                              profile=APACHE, seed=seed)
     finally:
         runner_mod.TwoHostNetwork = original
 
@@ -44,9 +45,11 @@ def cells():
         "HTTP/1.0 (lossy)": run_lossy(HTTP10_MODE),
         "pipelined (lossy)": run_lossy(HTTP11_PIPELINED),
         "HTTP/1.0 (clean)": run_experiment(HTTP10_MODE, FIRST_TIME,
-                                           WAN, APACHE, seed=0),
+                                           environment=WAN, profile=APACHE,
+                                           seed=0),
         "pipelined (clean)": run_experiment(HTTP11_PIPELINED,
-                                            FIRST_TIME, WAN, APACHE,
+                                            FIRST_TIME, environment=WAN,
+                                            profile=APACHE,
                                             seed=0),
     }
 

@@ -19,7 +19,8 @@ PROFILES = {"Jigsaw": JIGSAW, "Apache": APACHE}
 
 def fetch_html_only(profile, compressed, seed=0):
     config = ClientConfig(accept_deflate=compressed, follow_images=False)
-    return run_experiment(HTTP11_PERSISTENT, FIRST_TIME, PPP, profile,
+    return run_experiment(HTTP11_PERSISTENT, FIRST_TIME, environment=PPP,
+                          profile=profile,
                           seed=seed, client_config=config, verify=False)
 
 

@@ -20,7 +20,8 @@ FIXED = dataclasses.replace(NAGLE_STALL_SERVER, nodelay=True,
 
 
 def run(profile, seed=0):
-    return run_experiment(HTTP11_PERSISTENT, REVALIDATE, LAN, profile,
+    return run_experiment(HTTP11_PERSISTENT, REVALIDATE, environment=LAN,
+                          profile=profile,
                           seed=seed)
 
 

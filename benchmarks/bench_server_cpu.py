@@ -22,13 +22,13 @@ def cells():
     for mode in ALL_MODES:
         for scenario in (FIRST_TIME, REVALIDATE):
             out[(mode.name, scenario)] = run_experiment(
-                mode, scenario, LAN, APACHE, seed=0)
+                mode, scenario, environment=LAN, profile=APACHE, seed=0)
     return out
 
 
 def test_server_cpu(benchmark, cells):
     result = benchmark(lambda: run_experiment(
-        HTTP11_PIPELINED, REVALIDATE, LAN, APACHE, seed=1))
+        HTTP11_PIPELINED, REVALIDATE, environment=LAN, profile=APACHE, seed=1))
     assert result.fetch.complete
 
     http10_f = cells[("HTTP/1.0", FIRST_TIME)]

@@ -32,7 +32,8 @@ def run_with_initial_cwnd(mode, segments, seed=0):
 
     runner_mod.TwoHostNetwork = patched
     try:
-        return run_experiment(mode, FIRST_TIME, WAN, APACHE, seed=seed)
+        return run_experiment(mode, FIRST_TIME, environment=WAN,
+                              profile=APACHE, seed=seed)
     finally:
         runner_mod.TwoHostNetwork = original
 

@@ -22,7 +22,7 @@ MODES = (HTTP10_MODE, HTTP11_PERSISTENT, HTTP11_PIPELINED)
 def cells():
     return {
         mode.name: run_experiment(
-            mode, REVALIDATE, LAN, JIGSAW_INITIAL, seed=0,
+            mode, REVALIDATE, environment=LAN, profile=JIGSAW_INITIAL, seed=0,
             client_config=initial_tuning_client_config(mode))
         for mode in MODES
     }
@@ -30,7 +30,8 @@ def cells():
 
 def test_table03(benchmark, cells):
     result = benchmark(lambda: run_experiment(
-        HTTP11_PIPELINED, REVALIDATE, LAN, JIGSAW_INITIAL, seed=0,
+        HTTP11_PIPELINED, REVALIDATE, environment=LAN, profile=JIGSAW_INITIAL,
+        seed=0,
         client_config=initial_tuning_client_config(HTTP11_PIPELINED)))
     assert result.fetch.complete
 

@@ -1,28 +1,5 @@
-"""Table 09: Apache server, PPP environment.
+"""Table 09: Apache server, PPP environment."""
 
-Regenerates the paper's Table 09 (Pa / Bytes / Sec / %ov for each
-protocol mode and scenario), benchmarks the pipelined first-retrieval
-cell, and asserts the table's shape.  Run with -s to see the
-measured-vs-paper rows.
-"""
+from _common import protocol_table_suite
 
-import pytest
-
-from _common import (assert_protocol_table_shape, format_cells,
-                     representative_cell, run_protocol_table)
-
-SERVER = "Apache"
-ENVIRONMENT = "PPP"
-
-
-@pytest.fixture(scope="module")
-def cells():
-    return run_protocol_table(SERVER, ENVIRONMENT)
-
-
-def test_table09(benchmark, cells):
-    result = benchmark(representative_cell(SERVER, ENVIRONMENT))
-    assert result.fetch.complete
-    assert_protocol_table_shape(SERVER, ENVIRONMENT, cells)
-    print()
-    print(format_cells(SERVER, ENVIRONMENT, cells))
+globals().update(protocol_table_suite("Apache", "PPP", 9))

@@ -24,14 +24,15 @@ def cells():
     for browser in BROWSERS:
         for scenario in (FIRST_TIME, REVALIDATE):
             out[(browser.name, scenario)] = run_experiment(
-                HTTP10_MODE, scenario, PPP, PROFILE, seed=0,
+                HTTP10_MODE, scenario, environment=PPP, profile=PROFILE,
+                seed=0,
                 client_config=browser.client_config())
     return out
 
 
 def test_table11(benchmark, cells):
     result = benchmark(lambda: run_experiment(
-        HTTP10_MODE, REVALIDATE, PPP, PROFILE, seed=0,
+        HTTP10_MODE, REVALIDATE, environment=PPP, profile=PROFILE, seed=0,
         client_config=NETSCAPE_40B5.client_config()))
     assert result.fetch.complete
 

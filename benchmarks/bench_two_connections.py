@@ -22,7 +22,8 @@ from repro.simnet import WAN
 def run_with_connections(count, seed=0):
     config = ClientConfig(http_version=HTTP11, pipeline=True,
                           max_connections=count)
-    return run_experiment(HTTP11_PIPELINED, FIRST_TIME, WAN, APACHE,
+    return run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=WAN,
+                          profile=APACHE,
                           seed=seed, client_config=config)
 
 
@@ -52,7 +53,8 @@ def test_two_connections(benchmark, cells):
     assert two.packets < one.packets * 1.2
     # Two connections still beat HTTP/1.0's packet economy by far.
     from repro.core import HTTP10_MODE
-    http10 = run_experiment(HTTP10_MODE, FIRST_TIME, WAN, APACHE, seed=0)
+    http10 = run_experiment(HTTP10_MODE, FIRST_TIME, environment=WAN,
+                            profile=APACHE, seed=0)
     assert two.packets < http10.packets / 2
 
     print()

@@ -25,7 +25,8 @@ def main() -> None:
     print("-" * len(header))
     for mode in ALL_MODES:
         for scenario in (FIRST_TIME, REVALIDATE):
-            result = run_experiment(mode, scenario, WAN, APACHE, seed=0)
+            result = run_experiment(mode, scenario, environment=WAN,
+                                    profile=APACHE, seed=0)
             print(f"{mode.name:34s} {scenario:11s} "
                   f"{result.packets:8d} {result.payload_bytes:9d} "
                   f"{result.elapsed:8.2f} "

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Repo health check: the tier-1 test suite plus a parallel, cached
+# smoke run of the full report through the CLI.
+#
+#   scripts/check.sh            # everything
+#   FAST=1 scripts/check.sh     # skip the slow whole-grid sweeps
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+if [ "${FAST:-0}" = "1" ]; then
+    python -m pytest -x -q -m "not slow"
+else
+    python -m pytest -x -q
+fi
+
+# Exercise the experiment-matrix engine end to end: two worker
+# processes, results cached under a throwaway directory.
+SMOKE_CACHE=".repro-cache/check-smoke"
+rm -rf "$SMOKE_CACHE"
+python -m repro report --runs 1 --jobs 2 --cache \
+    --cache-dir "$SMOKE_CACHE" > /dev/null
+# A second pass must be pure cache hits (zero simulation runs).
+python -m repro report --runs 1 --jobs 2 --cache \
+    --cache-dir "$SMOKE_CACHE" 2>&1 > /dev/null \
+    | grep " 0 simulated" \
+    || { echo "check.sh: cached report re-ran simulations" >&2; exit 1; }
+rm -rf "$SMOKE_CACHE"
+
+echo "check.sh: all green"

@@ -16,6 +16,12 @@ Commands
     Print the synthetic Microscape site inventory.
 ``report``
     Regenerate the full paper-vs-measured report (EXPERIMENTS.md body).
+
+``table``, ``modem`` and ``report`` accept ``--jobs N`` (parallel
+worker processes), ``--cache`` (reuse results from ``.repro-cache/``)
+and ``--cache-dir PATH``.  All name resolution goes through the same
+:mod:`repro.core.registry` the library API uses, so every spelling
+accepted here ("pipelined", "1.1", "ppp", "jigsaw") works in code too.
 """
 
 from __future__ import annotations
@@ -29,60 +35,73 @@ from .analysis import (generate_experiments_report,
                        reproduce_content_experiments,
                        reproduce_modem_experiment,
                        reproduce_protocol_table, reproduce_table3)
-from .core import (ALL_MODES, FIRST_TIME, REVALIDATE, run_experiment)
-from .server import APACHE, JIGSAW
-from .simnet import ENVIRONMENTS
+from .core import TABLE_CELLS, UnknownNameError, run_experiment
+from .matrix import CellEvent, MatrixRunner, ResultCache
 
-_TABLES = {
-    4: ("Jigsaw", "LAN"), 5: ("Apache", "LAN"),
-    6: ("Jigsaw", "WAN"), 7: ("Apache", "WAN"),
-    8: ("Jigsaw", "PPP"), 9: ("Apache", "PPP"),
-}
 
-_MODES = {mode.name: mode for mode in ALL_MODES}
-_MODE_ALIASES = {
-    "http/1.0": "HTTP/1.0",
-    "http/1.1": "HTTP/1.1",
-    "pipelined": "HTTP/1.1 Pipelined",
-    "compressed": "HTTP/1.1 Pipelined w. compression",
-}
+def _print_progress(event: CellEvent) -> None:
+    tag = "cache" if event.status == "hit" else f"{event.wall_time:5.2f}s"
+    print(f"  [{event.completed}/{event.total}] {event.label} "
+          f"seed={event.seed} ({tag})", file=sys.stderr)
+
+
+def _make_runner(args: argparse.Namespace) -> MatrixRunner:
+    """Build the MatrixRunner the parallel/cache flags describe."""
+    cache = None
+    if getattr(args, "cache", False) or args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir) if args.cache_dir \
+            else ResultCache()
+    progress = _print_progress if getattr(args, "progress", False) \
+        else None
+    return MatrixRunner(jobs=args.jobs, cache=cache, progress=progress)
+
+
+def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = one per CPU)")
+    parser.add_argument("--cache", action="store_true",
+                        help="reuse cached results (.repro-cache/)")
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="cache directory (implies --cache)")
+    parser.add_argument("--progress", action="store_true",
+                        help="print per-cell progress to stderr")
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
     number = args.number
+    runner = _make_runner(args)
     if number == 3:
-        _, text = reproduce_table3(runs=args.runs)
-    elif number in _TABLES:
-        server, environment = _TABLES[number]
+        _, text = reproduce_table3(runs=args.runs, runner=runner)
+    elif number in TABLE_CELLS:
+        server, environment = TABLE_CELLS[number]
         _, text = reproduce_protocol_table(server, environment,
-                                           runs=args.runs)
+                                           runs=args.runs, runner=runner)
     elif number in (10, 11):
         server = "Jigsaw" if number == 10 else "Apache"
-        _, text = reproduce_browser_table(server, runs=args.runs)
+        _, text = reproduce_browser_table(server, runs=args.runs,
+                                          runner=runner)
     else:
         print(f"no table {number} in the paper (use 3-11)",
               file=sys.stderr)
         return 2
     print(text)
+    print(runner.stats.summary(), file=sys.stderr)
     return 0
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    mode_key = _MODE_ALIASES.get(args.mode.lower(), args.mode)
-    if mode_key not in _MODES:
-        choices = ", ".join(sorted(_MODE_ALIASES))
-        print(f"unknown mode {args.mode!r} (choose from: {choices})",
-              file=sys.stderr)
+    try:
+        result = run_experiment(args.mode, args.scenario,
+                                environment=args.environment,
+                                profile=args.server, seed=args.seed)
+    except UnknownNameError as exc:
+        print(exc, file=sys.stderr)
         return 2
-    environment = ENVIRONMENTS[args.environment.upper()]
-    profile = JIGSAW if args.server.lower() == "jigsaw" else APACHE
-    scenario = REVALIDATE if args.scenario == "revalidate" else FIRST_TIME
-    result = run_experiment(_MODES[mode_key], scenario, environment,
-                            profile, seed=args.seed)
-    print(f"mode:        {mode_key}")
-    print(f"scenario:    {scenario}")
-    print(f"environment: {environment.name}")
-    print(f"server:      {profile.name}")
+    from .core import resolve_environment, resolve_mode, resolve_profile
+    print(f"mode:        {resolve_mode(args.mode).name}")
+    print(f"scenario:    {args.scenario}")
+    print(f"environment: {resolve_environment(args.environment).name}")
+    print(f"server:      {resolve_profile(args.server).name}")
     print(f"packets:     {result.packets} "
           f"({result.packets_client_to_server} c->s, "
           f"{result.packets_server_to_client} s->c)")
@@ -95,8 +114,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_modem(args: argparse.Namespace) -> int:
-    _, text = reproduce_modem_experiment(runs=args.runs)
+    runner = _make_runner(args)
+    _, text = reproduce_modem_experiment(runs=args.runs, runner=runner)
     print(text)
+    print(runner.stats.summary(), file=sys.stderr)
     return 0
 
 
@@ -121,8 +142,11 @@ def _cmd_site(_args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
     print(generate_experiments_report(runs=args.runs,
-                                      browser_runs=min(args.runs, 3)))
+                                      browser_runs=min(args.runs, 3),
+                                      runner=runner))
+    print(runner.stats.summary(), file=sys.stderr)
     return 0
 
 
@@ -136,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     table = sub.add_parser("table", help="reproduce a paper table (3-11)")
     table.add_argument("number", type=int)
     table.add_argument("--runs", type=int, default=3)
+    _add_matrix_flags(table)
     table.set_defaults(fn=_cmd_table)
 
     run = sub.add_parser("run", help="run one experiment cell")
@@ -153,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     modem = sub.add_parser("modem", help="the 8.2.1 modem experiment")
     modem.add_argument("--runs", type=int, default=3)
+    _add_matrix_flags(modem)
     modem.set_defaults(fn=_cmd_modem)
 
     content = sub.add_parser("content",
@@ -165,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report",
                             help="full paper-vs-measured report")
     report.add_argument("--runs", type=int, default=5)
+    _add_matrix_flags(report)
     report.set_defaults(fn=_cmd_report)
     return parser
 

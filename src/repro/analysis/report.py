@@ -9,7 +9,7 @@ EXPERIMENTS.md document.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..client.robot import ClientConfig
 from ..content import (build_microscape_site, change_tag_case,
@@ -19,11 +19,10 @@ from ..core.browsers import BROWSERS
 from ..core.modes import (HTTP10_MODE, HTTP11_PERSISTENT,
                           HTTP11_PIPELINED, TABLE_MODES,
                           initial_tuning_client_config)
-from ..core.runner import run_repeated
+from ..core.registry import PROFILES, TABLE_CELLS
 from ..core.scenarios import FIRST_TIME, REVALIDATE
 from ..http import compression_ratio
-from ..server.profiles import APACHE, JIGSAW, JIGSAW_INITIAL, ServerProfile
-from ..simnet.link import ENVIRONMENTS, PPP
+from ..matrix import ExperimentSpec, MatrixRunner
 from .paperdata import (BROWSER_TABLES, CONTENT_NUMBERS, MODEM_TABLE,
                         PROTOCOL_TABLES, TABLE3)
 from .tables import (ComparisonRow, format_comparison_table,
@@ -36,53 +35,57 @@ __all__ = [
     "PROFILE_BY_NAME", "TABLE_NUMBERS",
 ]
 
-PROFILE_BY_NAME: Dict[str, ServerProfile] = {
-    "Jigsaw": JIGSAW,
-    "Apache": APACHE,
-}
+#: Kept as aliases of the shared registry (see repro.core.registry).
+PROFILE_BY_NAME = PROFILES
 
 #: Paper table number for each (server, environment) pair.
 TABLE_NUMBERS: Dict[Tuple[str, str], int] = {
-    ("Jigsaw", "LAN"): 4, ("Apache", "LAN"): 5,
-    ("Jigsaw", "WAN"): 6, ("Apache", "WAN"): 7,
-    ("Jigsaw", "PPP"): 8, ("Apache", "PPP"): 9,
-}
+    cell: number for number, cell in TABLE_CELLS.items()}
+
+
+def _runner(runner: Optional[MatrixRunner]) -> MatrixRunner:
+    return runner if runner is not None else MatrixRunner()
 
 
 def reproduce_protocol_table(server_name: str, environment_name: str,
-                             *, runs: int = 5
+                             *, runs: int = 5,
+                             runner: Optional[MatrixRunner] = None
                              ) -> Tuple[List[ComparisonRow], str]:
     """Reproduce one of Tables 4–9."""
-    profile = PROFILE_BY_NAME[server_name]
-    environment = ENVIRONMENTS[environment_name]
     paper = PROTOCOL_TABLES[(server_name, environment_name)]
-    rows: List[ComparisonRow] = []
-    for mode in TABLE_MODES[environment_name]:
-        for scenario in (FIRST_TIME, REVALIDATE):
-            measured = run_repeated(mode, scenario, environment, profile,
-                                    runs=runs)
-            rows.append(ComparisonRow(mode.name, scenario, measured,
-                                      paper.get((mode.name, scenario))))
+    specs = [
+        ExperimentSpec(mode=mode.name, scenario=scenario,
+                       environment=environment_name, server=server_name,
+                       seeds=tuple(range(runs)))
+        for mode in TABLE_MODES[environment_name]
+        for scenario in (FIRST_TIME, REVALIDATE)]
+    measured = _runner(runner).run_many(specs)
+    rows = [
+        ComparisonRow(spec.mode, spec.scenario, result,
+                      paper.get((spec.mode, spec.scenario)))
+        for spec, result in zip(specs, measured)]
     number = TABLE_NUMBERS[(server_name, environment_name)]
     title = (f"Table {number} - {server_name} - {environment_name} "
              f"(mean of {runs} runs)")
     return rows, format_comparison_table(title, rows)
 
 
-def reproduce_table3(*, runs: int = 5) -> Tuple[List[dict], str]:
+def reproduce_table3(*, runs: int = 5,
+                     runner: Optional[MatrixRunner] = None
+                     ) -> Tuple[List[dict], str]:
     """Reproduce Table 3: the pre-tuning LAN revalidation comparison."""
-    environment = ENVIRONMENTS["LAN"]
-    results = []
-    for mode in (HTTP10_MODE, HTTP11_PERSISTENT, HTTP11_PIPELINED):
-        measured = run_repeated(
-            mode, REVALIDATE, environment, JIGSAW_INITIAL, runs=runs,
-            client_config=initial_tuning_client_config(mode))
-        paper = TABLE3[mode.name]
-        results.append({
-            "mode": mode.name,
-            "measured": measured,
-            "paper": paper,
-        })
+    modes = (HTTP10_MODE, HTTP11_PERSISTENT, HTTP11_PIPELINED)
+    specs = [
+        ExperimentSpec.for_client_config(
+            mode, REVALIDATE, "LAN", "Jigsaw-initial",
+            initial_tuning_client_config(mode),
+            seeds=tuple(range(runs)))
+        for mode in modes]
+    measured = _runner(runner).run_many(specs)
+    results = [
+        {"mode": mode.name, "measured": result,
+         "paper": TABLE3[mode.name]}
+        for mode, result in zip(modes, measured)]
     header = ["mode", "sockets", "c->s", "s->c", "Pa", "Sec",
               "Pa(paper)", "Sec(paper)"]
     table_rows = []
@@ -100,46 +103,53 @@ def reproduce_table3(*, runs: int = 5) -> Tuple[List[dict], str]:
     return results, text
 
 
-def reproduce_browser_table(server_name: str, *, runs: int = 3
+def reproduce_browser_table(server_name: str, *, runs: int = 3,
+                            runner: Optional[MatrixRunner] = None
                             ) -> Tuple[List[ComparisonRow], str]:
     """Reproduce Table 10 (Jigsaw) or 11 (Apache): browsers over PPP."""
-    profile = PROFILE_BY_NAME[server_name]
     paper = BROWSER_TABLES[server_name]
-    rows: List[ComparisonRow] = []
-    for browser in BROWSERS:
-        for scenario in (FIRST_TIME, REVALIDATE):
-            measured = run_repeated(
-                HTTP10_MODE, scenario, PPP, profile, runs=runs,
-                client_config=browser.client_config())
-            rows.append(ComparisonRow(browser.name, scenario, measured,
-                                      paper.get((browser.name,
-                                                 scenario))))
+    labelled = [
+        (browser.name, scenario,
+         ExperimentSpec.for_client_config(
+             HTTP10_MODE, scenario, "PPP", server_name,
+             browser.client_config(), seeds=tuple(range(runs))))
+        for browser in BROWSERS
+        for scenario in (FIRST_TIME, REVALIDATE)]
+    measured = _runner(runner).run_many([s for _, _, s in labelled])
+    rows = [
+        ComparisonRow(name, scenario, result,
+                      paper.get((name, scenario)))
+        for (name, scenario, _), result in zip(labelled, measured)]
     number = 10 if server_name == "Jigsaw" else 11
     title = (f"Table {number} - {server_name} - Navigator and IE, PPP "
              f"(mean of {runs} runs)")
     return rows, format_comparison_table(title, rows)
 
 
-def reproduce_modem_experiment(*, runs: int = 5
+def reproduce_modem_experiment(*, runs: int = 5,
+                               runner: Optional[MatrixRunner] = None
                                ) -> Tuple[List[dict], str]:
     """Reproduce §8.2.1: HTML-only GET over 28.8k, ±deflate."""
+    cells = [(server_name, compressed)
+             for server_name in ("Jigsaw", "Apache")
+             for compressed in (False, True)]
+    specs = [
+        ExperimentSpec.for_client_config(
+            HTTP11_PERSISTENT, FIRST_TIME, "PPP", server_name,
+            ClientConfig(pipeline=False, accept_deflate=compressed,
+                         follow_images=False),
+            seeds=tuple(range(runs)), verify=False)
+        for server_name, compressed in cells]
     results = []
-    for server_name in ("Jigsaw", "Apache"):
-        profile = PROFILE_BY_NAME[server_name]
-        for compressed in (False, True):
-            config = ClientConfig(
-                pipeline=False, accept_deflate=compressed,
-                follow_images=False)
-            measured = run_repeated(
-                HTTP11_PERSISTENT, FIRST_TIME, PPP, profile, runs=runs,
-                client_config=config, verify=False)
-            label = "compressed" if compressed else "uncompressed"
-            paper_pa, paper_sec = MODEM_TABLE[(server_name, label)]
-            results.append({
-                "server": server_name, "variant": label,
-                "measured": measured,
-                "paper": (paper_pa, paper_sec),
-            })
+    for (server_name, compressed), measured in zip(
+            cells, _runner(runner).run_many(specs)):
+        label = "compressed" if compressed else "uncompressed"
+        paper_pa, paper_sec = MODEM_TABLE[(server_name, label)]
+        results.append({
+            "server": server_name, "variant": label,
+            "measured": measured,
+            "paper": (paper_pa, paper_sec),
+        })
     header = ["server", "variant", "Pa", "Sec", "Pa(paper)",
               "Sec(paper)"]
     table_rows = [[r["server"], r["variant"],
@@ -230,7 +240,8 @@ def reproduce_content_experiments() -> Tuple[dict, str]:
     return results, text
 
 
-def reproduce_future_work() -> Tuple[dict, str]:
+def reproduce_future_work(*, runner: Optional[MatrixRunner] = None
+                          ) -> Tuple[dict, str]:
     """Quantify the paper's future-work claims (single-seed runs).
 
     * compact wire representation: "an additional factor of five or
@@ -246,11 +257,12 @@ def reproduce_future_work() -> Tuple[dict, str]:
                                        gif_area_coverage,
                                        png_area_coverage)
     from ..core.render import measure_render
-    from ..core.runner import run_experiment
+    from ..core.registry import resolve_environment, resolve_profile
     from ..http import HTTP10, HTTP11, Headers, Request
     from ..http.compact import DeltaStreamEncoder
     from ..server.static import ResourceStore
 
+    run = _runner(runner)
     site = build_microscape_site()
     results: dict = {}
     rows = []
@@ -269,10 +281,11 @@ def reproduce_future_work() -> Tuple[dict, str]:
                  f"{encoder.ratio:.1f}x", "5-10x (envelope)"])
 
     # Server CPU per protocol mode (LAN, Apache).
-    http10 = run_experiment(HTTP10_MODE, FIRST_TIME,
-                            ENVIRONMENTS["LAN"], APACHE, seed=0)
-    pipelined = run_experiment(HTTP11_PIPELINED, FIRST_TIME,
-                               ENVIRONMENTS["LAN"], APACHE, seed=0)
+    http10, pipelined = run.run_many([
+        ExperimentSpec(mode=HTTP10_MODE.name, scenario=FIRST_TIME,
+                       environment="LAN", server="Apache", seeds=(0,)),
+        ExperimentSpec(mode=HTTP11_PIPELINED.name, scenario=FIRST_TIME,
+                       environment="LAN", server="Apache", seeds=(0,))])
     cpu_saving = 1 - pipelined.server_cpu_seconds / \
         http10.server_cpu_seconds
     results["server_cpu_saving"] = cpu_saving
@@ -280,12 +293,14 @@ def reproduce_future_work() -> Tuple[dict, str]:
                  f"{cpu_saving:.0%}", '"very substantial"'])
 
     # Render timelines on PPP.
+    ppp = resolve_environment("PPP")
+    apache = resolve_profile("Apache")
     plain = measure_render(ClientConfig(http_version=HTTP11,
-                                        pipeline=True), PPP, APACHE)
+                                        pipeline=True), ppp, apache)
     ranged = measure_render(ClientConfig(http_version=HTTP11,
                                          pipeline=True,
                                          range_prefix_bytes=256),
-                            PPP, APACHE)
+                            ppp, apache)
     results["layout_plain"] = plain.layout_complete
     results["layout_ranged"] = ranged.layout_complete
     rows.append(["time-to-layout, pipelined (PPP)",
@@ -309,12 +324,13 @@ def reproduce_future_work() -> Tuple[dict, str]:
                  '"time to render benefits relative to GIF"'])
 
     # Two-connection packet trains.
-    two = run_experiment(
-        HTTP11_PIPELINED, FIRST_TIME, ENVIRONMENTS["WAN"], APACHE,
-        seed=0, client_config=ClientConfig(
-            http_version=HTTP11, pipeline=True, max_connections=2))
-    one = run_experiment(HTTP11_PIPELINED, FIRST_TIME,
-                         ENVIRONMENTS["WAN"], APACHE, seed=0)
+    two, one = run.run_many([
+        ExperimentSpec.for_client_config(
+            HTTP11_PIPELINED, FIRST_TIME, "WAN", "Apache",
+            ClientConfig(http_version=HTTP11, pipeline=True,
+                         max_connections=2), seeds=(0,)),
+        ExperimentSpec(mode=HTTP11_PIPELINED.name, scenario=FIRST_TIME,
+                       environment="WAN", server="Apache", seeds=(0,))])
     results["train_ratio"] = (two.mean_packets_per_connection
                               / one.mean_packets_per_connection)
     rows.append(["packet-train length, 2 conns vs 1",
@@ -328,25 +344,32 @@ def reproduce_future_work() -> Tuple[dict, str]:
 
 
 def generate_experiments_report(*, runs: int = 5,
-                                browser_runs: int = 3) -> str:
-    """Render the full paper-vs-measured report (EXPERIMENTS.md body)."""
+                                browser_runs: int = 3,
+                                runner: Optional[MatrixRunner] = None
+                                ) -> str:
+    """Render the full paper-vs-measured report (EXPERIMENTS.md body).
+
+    A shared ``runner`` threads one :class:`MatrixRunner` (its worker
+    pool, cache and statistics) through every section.
+    """
+    run = _runner(runner)
     sections: List[str] = []
-    _, table3 = reproduce_table3(runs=runs)
+    _, table3 = reproduce_table3(runs=runs, runner=run)
     sections.append(table3)
     for server_name in ("Jigsaw", "Apache"):
         for environment_name in ("LAN", "WAN", "PPP"):
             _, text = reproduce_protocol_table(server_name,
                                                environment_name,
-                                               runs=runs)
+                                               runs=runs, runner=run)
             sections.append(text)
     for server_name in ("Jigsaw", "Apache"):
         _, text = reproduce_browser_table(server_name,
-                                          runs=browser_runs)
+                                          runs=browser_runs, runner=run)
         sections.append(text)
-    _, modem = reproduce_modem_experiment(runs=runs)
+    _, modem = reproduce_modem_experiment(runs=runs, runner=run)
     sections.append(modem)
     _, content = reproduce_content_experiments()
     sections.append(content)
-    _, future = reproduce_future_work()
+    _, future = reproduce_future_work(runner=run)
     sections.append(future)
     return "\n\n".join(sections)

@@ -3,13 +3,16 @@
 This is the package that turns the substrates (simulated network, HTTP
 layer, clients, servers, content) into the paper's experiments::
 
-    from repro.core import (HTTP11_PIPELINED, FIRST_TIME, run_repeated)
-    from repro.server import APACHE
-    from repro.simnet import WAN
+    from repro.core import run_repeated
 
-    row = run_repeated(HTTP11_PIPELINED, FIRST_TIME, WAN, APACHE)
+    row = run_repeated("pipelined", "first-time",
+                       environment="WAN", profile="Apache")
     print(row.packets, row.payload_bytes, row.elapsed,
           row.percent_overhead)
+
+Every axis accepts objects or registry names (:mod:`.registry` holds
+the single name table shared with the CLI and :mod:`repro.matrix`);
+``environment`` and ``profile`` are keyword-only.
 """
 
 from .browsers import BROWSERS, BrowserProfile, IE_40B1, NETSCAPE_40B5
@@ -17,12 +20,18 @@ from .modes import (ALL_MODES, HTTP10_MODE, HTTP11_PERSISTENT,
                     HTTP11_PIPELINED, HTTP11_PIPELINED_COMPRESSED,
                     ProtocolMode, TABLE_MODES,
                     initial_tuning_client_config)
+from .registry import (MODE_ALIASES, MODES, PROFILES, TABLE_CELLS,
+                       UnknownNameError, resolve_environment, resolve_mode,
+                       resolve_profile, resolve_scenario)
 from .render import GIF_DIMENSION_BYTES, RenderMetrics, measure_render
 from .runner import (AveragedResult, ExperimentError, RunResult,
                      run_experiment, run_repeated)
 from .scenarios import FIRST_TIME, REVALIDATE, SCENARIOS, prefill_cache
 
 __all__ = [
+    "MODE_ALIASES", "MODES", "PROFILES", "TABLE_CELLS",
+    "UnknownNameError", "resolve_environment", "resolve_mode",
+    "resolve_profile", "resolve_scenario",
     "BROWSERS", "BrowserProfile", "IE_40B1", "NETSCAPE_40B5",
     "ALL_MODES", "HTTP10_MODE", "HTTP11_PERSISTENT", "HTTP11_PIPELINED",
     "HTTP11_PIPELINED_COMPRESSED", "ProtocolMode", "TABLE_MODES",

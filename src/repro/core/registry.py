@@ -1,0 +1,130 @@
+"""The single name registry: canonical strings for experiment axes.
+
+Every layer that names a protocol mode, scenario, network environment
+or server profile — the CLI, the :mod:`repro.matrix` subsystem, the
+benchmarks — resolves through these four functions, so "pipelined",
+"WAN" and "Apache" mean the same objects everywhere.  Each resolver
+accepts either the already-resolved object (returned unchanged) or a
+name; names are matched case-insensitively, with the common shorthands
+registered as aliases.
+
+Unknown names raise :class:`UnknownNameError` whose message lists the
+accepted spellings, which the CLI prints verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Union
+
+from ..client.robot import FIRST_TIME, REVALIDATE
+from ..server.profiles import (APACHE, APACHE_12B2, JIGSAW, JIGSAW_INITIAL,
+                               NAGLE_STALL_SERVER, NAIVE_CLOSE_SERVER,
+                               ServerProfile)
+from ..simnet.link import ENVIRONMENTS, NetworkEnvironment
+from .modes import ALL_MODES, ProtocolMode
+
+__all__ = [
+    "UnknownNameError",
+    "MODES", "MODE_ALIASES", "PROFILES", "SCENARIOS_BY_NAME",
+    "TABLE_CELLS",
+    "resolve_mode", "resolve_environment", "resolve_profile",
+    "resolve_scenario",
+]
+
+
+class UnknownNameError(ValueError):
+    """A name that no registry entry answers to."""
+
+
+#: Canonical mode name (as the paper's tables print it) → mode.
+MODES: Dict[str, ProtocolMode] = {mode.name: mode for mode in ALL_MODES}
+
+#: Shorthand → canonical mode name.
+MODE_ALIASES: Dict[str, str] = {
+    "http/1.0": "HTTP/1.0",
+    "1.0": "HTTP/1.0",
+    "http/1.1": "HTTP/1.1",
+    "1.1": "HTTP/1.1",
+    "persistent": "HTTP/1.1",
+    "pipelined": "HTTP/1.1 Pipelined",
+    "pipeline": "HTTP/1.1 Pipelined",
+    "compressed": "HTTP/1.1 Pipelined w. compression",
+    "pipelined-compressed": "HTTP/1.1 Pipelined w. compression",
+}
+
+#: Profile name → server profile (the two paper servers + ablations).
+PROFILES: Dict[str, ServerProfile] = {
+    profile.name: profile
+    for profile in (JIGSAW, APACHE, JIGSAW_INITIAL, APACHE_12B2,
+                    NAGLE_STALL_SERVER, NAIVE_CLOSE_SERVER)
+}
+
+#: Scenario spelling → canonical scenario constant.
+SCENARIOS_BY_NAME: Dict[str, str] = {
+    FIRST_TIME: FIRST_TIME,
+    "first": FIRST_TIME,
+    "firsttime": FIRST_TIME,
+    REVALIDATE: REVALIDATE,
+    "reval": REVALIDATE,
+    "revalidation": REVALIDATE,
+}
+
+#: Paper table number → (server, environment) for Tables 4-9.
+TABLE_CELLS: Dict[int, Tuple[str, str]] = {
+    4: ("Jigsaw", "LAN"), 5: ("Apache", "LAN"),
+    6: ("Jigsaw", "WAN"), 7: ("Apache", "WAN"),
+    8: ("Jigsaw", "PPP"), 9: ("Apache", "PPP"),
+}
+
+
+def _unknown(kind: str, value: object, choices) -> UnknownNameError:
+    listed = ", ".join(sorted(choices, key=str.lower))
+    return UnknownNameError(f"unknown {kind} {value!r} "
+                            f"(choose from: {listed})")
+
+
+def resolve_mode(value: Union[str, ProtocolMode]) -> ProtocolMode:
+    """Resolve a protocol mode by object, canonical name, or alias."""
+    if isinstance(value, ProtocolMode):
+        return value
+    if value in MODES:
+        return MODES[value]
+    key = str(value).lower()
+    for name, mode in MODES.items():
+        if name.lower() == key:
+            return mode
+    if key in MODE_ALIASES:
+        return MODES[MODE_ALIASES[key]]
+    raise _unknown("mode", value, list(MODES) + list(MODE_ALIASES))
+
+
+def resolve_environment(value: Union[str, NetworkEnvironment]
+                        ) -> NetworkEnvironment:
+    """Resolve a network environment by object or (any-case) name."""
+    if isinstance(value, NetworkEnvironment):
+        return value
+    environment = ENVIRONMENTS.get(str(value).upper())
+    if environment is None:
+        raise _unknown("environment", value, ENVIRONMENTS)
+    return environment
+
+
+def resolve_profile(value: Union[str, ServerProfile]) -> ServerProfile:
+    """Resolve a server profile by object or (any-case) name."""
+    if isinstance(value, ServerProfile):
+        return value
+    if value in PROFILES:
+        return PROFILES[value]
+    key = str(value).lower()
+    for name, profile in PROFILES.items():
+        if name.lower() == key:
+            return profile
+    raise _unknown("server", value, PROFILES)
+
+
+def resolve_scenario(value: str) -> str:
+    """Resolve a scenario spelling to ``FIRST_TIME`` / ``REVALIDATE``."""
+    scenario = SCENARIOS_BY_NAME.get(str(value).lower())
+    if scenario is None:
+        raise _unknown("scenario", value, SCENARIOS_BY_NAME)
+    return scenario

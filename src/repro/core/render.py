@@ -30,10 +30,11 @@ from ..content.microscape import MicroscapeSite, build_microscape_site
 from ..http import MemoryCache
 from ..server.base import SimHttpServer
 from ..server.profiles import ServerProfile
+from ..server.static import ResourceStore
 from ..simnet.link import NetworkEnvironment
 from ..simnet.network import SERVER_HOST, TwoHostNetwork
 from ..simnet.tcp import TcpConfig
-from .runner import _resource_store
+from .runner import _default_site_and_store
 
 __all__ = ["RenderMetrics", "measure_render", "GIF_DIMENSION_BYTES"]
 
@@ -134,8 +135,10 @@ def measure_render(config: ClientConfig,
                    site: Optional[MicroscapeSite] = None,
                    seed: int = 0, jitter: float = 0.0) -> RenderMetrics:
     """Run a first-time retrieval and report its rendering timeline."""
-    site = site or build_microscape_site()
-    store = _resource_store(site)
+    if site is None:
+        site, store = _default_site_and_store()
+    else:
+        store = ResourceStore.from_site(site)
     server_tcp = TcpConfig(mss=environment.mss, delack_delay=0.050)
     net = TwoHostNetwork(environment, seed=seed, jitter=jitter,
                          server_config=server_tcp)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 import statistics
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..client.robot import ClientConfig, FetchResult, Robot
 from ..content.microscape import MicroscapeSite, build_microscape_site
@@ -26,6 +26,8 @@ from ..simnet.network import SERVER_HOST, TwoHostNetwork
 from ..simnet.tcp import TcpConfig
 from ..simnet.trace import TraceSummary
 from .modes import ProtocolMode
+from .registry import (resolve_environment, resolve_mode, resolve_profile,
+                       resolve_scenario)
 from .scenarios import FIRST_TIME, REVALIDATE, prefill_cache
 
 __all__ = ["RunResult", "AveragedResult", "ExperimentError",
@@ -35,7 +37,14 @@ __all__ = ["RunResult", "AveragedResult", "ExperimentError",
 #: fluctuations the paper averaged over five runs.
 DEFAULT_JITTER = 0.02
 
-_STORE_CACHE: Dict[int, ResourceStore] = {}
+#: The default Microscape site and its resource store, built once and
+#: held strongly together.  Keeping the *pair* alive (rather than a
+#: table keyed by ``id(site)``) means a dead site can never alias a
+#: fresh one through CPython id reuse, and there is nothing to evict:
+#: callers with their own site pass an explicit ``store`` (or let
+#: :func:`run_experiment` build a fresh one per call).
+_DEFAULT_SITE_AND_STORE: Optional[Tuple[MicroscapeSite,
+                                        ResourceStore]] = None
 
 
 class ExperimentError(RuntimeError):
@@ -119,19 +128,20 @@ class AveragedResult:
         return self._mean("mean_packet_size")
 
 
-def _resource_store(site: MicroscapeSite) -> ResourceStore:
-    key = id(site)
-    store = _STORE_CACHE.get(key)
-    if store is None:
-        store = ResourceStore.from_site(site)
-        _STORE_CACHE[key] = store
-    return store
+def _default_site_and_store() -> Tuple[MicroscapeSite, ResourceStore]:
+    global _DEFAULT_SITE_AND_STORE
+    if _DEFAULT_SITE_AND_STORE is None:
+        site = build_microscape_site()
+        _DEFAULT_SITE_AND_STORE = (site, ResourceStore.from_site(site))
+    return _DEFAULT_SITE_AND_STORE
 
 
-def run_experiment(mode: ProtocolMode, scenario: str,
-                   environment: NetworkEnvironment,
-                   profile: ServerProfile, *,
+def run_experiment(mode: Union[str, ProtocolMode],
+                   scenario: str, *,
+                   environment: Union[str, NetworkEnvironment],
+                   profile: Union[str, ServerProfile],
                    site: Optional[MicroscapeSite] = None,
+                   store: Optional[ResourceStore] = None,
                    seed: int = 0, jitter: float = DEFAULT_JITTER,
                    client_config: Optional[ClientConfig] = None,
                    flush_timeout: Optional[float] = 0.05,
@@ -140,11 +150,26 @@ def run_experiment(mode: ProtocolMode, scenario: str,
                    max_sim_time: float = 1200.0) -> RunResult:
     """Run one (mode, scenario, environment, server) cell.
 
+    ``mode``, ``scenario``, ``environment`` and ``profile`` accept
+    either the objects themselves or their canonical string names
+    ("pipelined", "revalidate", "WAN", "Apache"), resolved through
+    :mod:`repro.core.registry`.  ``environment`` and ``profile`` are
+    keyword-only.
+
     ``client_config`` overrides the mode-derived configuration for
-    ablations (flush policies, Nagle, buffer sizes).
+    ablations (flush policies, Nagle, buffer sizes).  ``store`` supplies
+    a prebuilt :class:`ResourceStore` for a custom ``site``; without it
+    a fresh store is built (the default site's store is memoized).
     """
-    site = site or build_microscape_site()
-    store = _resource_store(site)
+    mode = resolve_mode(mode)
+    scenario = resolve_scenario(scenario)
+    environment = resolve_environment(environment)
+    profile = resolve_profile(profile)
+    if site is None:
+        site, default_store = _default_site_and_store()
+        store = store or default_store
+    elif store is None:
+        store = ResourceStore.from_site(site)
     # The server host ran Solaris 2.5, whose delayed-ACK timer is 50 ms
     # (the clients were BSD-derived 200 ms stacks).
     server_tcp = TcpConfig(mss=environment.mss, delack_delay=0.050)
@@ -211,14 +236,14 @@ def _verify(result: FetchResult, scenario: str,
                 raise ExperimentError(f"{url}: status {response.status}")
 
 
-def run_repeated(mode: ProtocolMode, scenario: str,
-                 environment: NetworkEnvironment,
-                 profile: ServerProfile, *, runs: int = 5,
+def run_repeated(mode: Union[str, ProtocolMode], scenario: str, *,
+                 environment: Union[str, NetworkEnvironment],
+                 profile: Union[str, ServerProfile], runs: int = 5,
                  seeds: Optional[Sequence[int]] = None,
                  **kwargs) -> AveragedResult:
     """Average ``runs`` seeded runs, as the paper's tables do."""
     seeds = seeds if seeds is not None else range(runs)
     return AveragedResult([
-        run_experiment(mode, scenario, environment, profile, seed=seed,
-                       **kwargs)
+        run_experiment(mode, scenario, environment=environment,
+                       profile=profile, seed=seed, **kwargs)
         for seed in seeds])

@@ -1,0 +1,41 @@
+"""The experiment-matrix engine: declarative specs, parallel execution.
+
+This package turns the paper's 4-modes x 2-scenarios x 3-environments
+x 2-servers grid (times five seeds per cell) into data::
+
+    from repro.matrix import ExperimentSpec, MatrixRunner, ResultCache
+
+    spec = ExperimentSpec(mode="pipelined", scenario="revalidate",
+                          environment="WAN", server="Apache")
+    row = MatrixRunner(jobs=4, cache=ResultCache()).run(spec)
+    print(row.packets, row.elapsed)
+
+* :class:`ExperimentSpec` / :class:`ExperimentMatrix` — frozen,
+  canonicalized descriptions of cells and grids; string names resolve
+  through the same :mod:`repro.core.registry` the CLI uses.
+* :class:`MatrixRunner` — fans (cell, seed) units over a
+  ``multiprocessing`` pool with a bit-identical serial fallback,
+  per-cell wall-time stats and a progress callback.
+* :class:`ResultCache` — content-addressed JSON store under
+  ``.repro-cache/``; a second ``python -m repro report --cache``
+  simulates nothing.
+"""
+
+from ..core.registry import (MODE_ALIASES, MODES, PROFILES, TABLE_CELLS,
+                             UnknownNameError, resolve_environment,
+                             resolve_mode, resolve_profile,
+                             resolve_scenario)
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .runner import CellEvent, MatrixRunner, MatrixStats, run_unit
+from .spec import (DEFAULT_SEEDS, ExperimentMatrix, ExperimentSpec,
+                   client_config_overrides)
+
+__all__ = [
+    "MODE_ALIASES", "MODES", "PROFILES", "TABLE_CELLS",
+    "UnknownNameError", "resolve_environment", "resolve_mode",
+    "resolve_profile", "resolve_scenario",
+    "DEFAULT_CACHE_DIR", "ResultCache",
+    "CellEvent", "MatrixRunner", "MatrixStats", "run_unit",
+    "DEFAULT_SEEDS", "ExperimentMatrix", "ExperimentSpec",
+    "client_config_overrides",
+]

@@ -1,0 +1,131 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every (cell, seed) work unit is keyed by the SHA-256 of its spec's
+canonical JSON plus the seed and the package version, so a repeated
+``python -m repro report --cache`` run performs zero simulation — and
+any change to the spec (jitter, overrides, mode, version bump)
+automatically misses and re-measures.  Entries are JSON files under
+``.repro-cache/``, one per unit, written atomically.
+
+Cached entries store the numeric measurement columns of
+:class:`~repro.core.runner.RunResult` (everything the tables and
+benchmarks consume); the per-run packet trace and fetch transcript are
+not serialized, so hydrated results carry ``fetch=None, trace=None`` —
+exactly what :class:`~repro.matrix.runner.MatrixRunner` returns for
+fresh runs too, keeping cached and simulated results interchangeable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .. import __version__
+from ..core.runner import RunResult
+from .spec import ExperimentSpec
+
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache",
+           "result_to_payload", "result_from_payload"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: The measurement columns a cache entry preserves.
+RESULT_FIELDS = (
+    "packets", "payload_bytes", "percent_overhead", "elapsed",
+    "packets_client_to_server", "packets_server_to_client",
+    "connections_used", "max_parallel_connections", "retries",
+    "server_cpu_seconds", "mean_packets_per_connection",
+    "mean_packet_size", "mean_request_bytes",
+)
+
+
+def result_to_payload(result: RunResult) -> Dict[str, Any]:
+    """Serialize the numeric measurement columns of a run."""
+    payload = {name: getattr(result, name) for name in RESULT_FIELDS}
+    payload["statuses"] = {str(status): count
+                           for status, count in result.statuses.items()}
+    return payload
+
+
+def result_from_payload(payload: Dict[str, Any]) -> RunResult:
+    """Hydrate a cached measurement (no trace / fetch transcript)."""
+    fields = {name: payload[name] for name in RESULT_FIELDS}
+    statuses = {int(status): count
+                for status, count in payload["statuses"].items()}
+    return RunResult(statuses=statuses, fetch=None, trace=None, **fields)
+
+
+class ResultCache:
+    """JSON result store keyed by stable spec + seed + version hashes."""
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_CACHE_DIR, *,
+                 version: str = __version__) -> None:
+        self.root = Path(root)
+        self.version = version
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    def key(self, spec: ExperimentSpec, seed: int) -> str:
+        """Stable content hash of one (cell, seed) work unit."""
+        identity = {
+            "version": self.version,
+            "seed": int(seed),
+            "spec": spec.canonical_dict(),
+        }
+        blob = json.dumps(identity, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def path(self, spec: ExperimentSpec, seed: int) -> Path:
+        return self.root / f"{self.key(spec, seed)}.json"
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, spec: ExperimentSpec, seed: int) -> Optional[RunResult]:
+        """The cached result for the unit, or None on a miss.
+
+        Unreadable or corrupt entries count as misses (and will be
+        overwritten on the next :meth:`put`).
+        """
+        try:
+            payload = json.loads(self.path(spec, seed).read_text())
+            return result_from_payload(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: ExperimentSpec, seed: int,
+            result: RunResult) -> None:
+        """Store a unit's measurements atomically."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(spec, seed)
+        entry = {
+            "version": self.version,
+            "seed": int(seed),
+            "spec": spec.canonical_dict(),
+            "result": result_to_payload(result),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,215 @@
+"""Parallel execution of experiment grids.
+
+:class:`MatrixRunner` fans the (cell, seed) work units of one or more
+:class:`~repro.matrix.spec.ExperimentSpec` out over a
+``multiprocessing`` pool.  Each worker rebuilds the Microscape site and
+resource store locally (live simulation objects do not pickle; specs
+and numeric results do), so a unit's computation is byte-for-byte the
+same wherever it runs — ``jobs=4`` and the serial ``jobs=1`` fallback
+are guaranteed to produce identical numbers, and a content-addressed
+:class:`~repro.matrix.cache.ResultCache` can substitute for either.
+
+Observability: the runner accumulates :class:`MatrixStats` (per-cell
+wall time, cache hit/miss counters, simulation-run count) and emits a
+:class:`CellEvent` to an optional progress callback as each unit
+resolves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.runner import AveragedResult, RunResult, run_experiment
+from .cache import ResultCache
+from .spec import ExperimentSpec
+
+__all__ = ["CellEvent", "MatrixStats", "MatrixRunner", "run_unit"]
+
+#: Progress callback signature.
+ProgressCallback = Callable[["CellEvent"], None]
+
+
+@dataclasses.dataclass(frozen=True)
+class CellEvent:
+    """One resolved work unit, reported to the progress callback."""
+
+    spec: ExperimentSpec
+    seed: int
+    #: ``"hit"`` (served from cache) or ``"run"`` (simulated).
+    status: str
+    #: Wall-clock seconds spent simulating (0.0 for cache hits).
+    wall_time: float
+    completed: int
+    total: int
+
+    @property
+    def label(self) -> str:
+        return self.spec.label
+
+
+@dataclasses.dataclass
+class MatrixStats:
+    """Counters accumulated across a runner's lifetime."""
+
+    specs: int = 0
+    units: int = 0
+    sim_runs: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_time: float = 0.0
+    #: Simulation wall seconds per (cell label, seed).
+    unit_wall_times: Dict[Tuple[str, int], float] = dataclasses.field(
+        default_factory=dict)
+
+    def summary(self) -> str:
+        return (f"{self.specs} cells, {self.units} runs requested: "
+                f"{self.sim_runs} simulated, {self.cache_hits} cache "
+                f"hits, {self.cache_misses} misses, "
+                f"{self.wall_time:.1f} s wall")
+
+
+def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[RunResult, float]:
+    """Execute one (cell, seed) unit; returns (result, wall seconds).
+
+    This is the function pool workers run.  The worker process holds no
+    simulation state from the parent: ``run_experiment`` resolves the
+    spec's names through the registry and builds (or reuses its own
+    process-local memo of) the site and resource store.  The returned
+    result carries the numeric measurement columns only (``fetch=None,
+    trace=None``) — the same shape the cache hydrates — so serial,
+    parallel and cached paths are interchangeable.
+    """
+    start = time.perf_counter()
+    result = run_experiment(
+        spec.mode, spec.scenario,
+        environment=spec.environment, profile=spec.server,
+        seed=seed, jitter=spec.jitter,
+        client_config=spec.client_config(),
+        verify=spec.verify, max_sim_time=spec.max_sim_time)
+    wall = time.perf_counter() - start
+    stripped = dataclasses.replace(result, fetch=None, trace=None)
+    return stripped, wall
+
+
+def _pool_entry(unit: Tuple[int, ExperimentSpec, int]
+                ) -> Tuple[int, RunResult, float]:
+    index, spec, seed = unit
+    result, wall = run_unit(spec, seed)
+    return index, result, wall
+
+
+class MatrixRunner:
+    """Runs experiment specs, in parallel when asked, cached when told.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` (the default) runs everything
+        serially in-process; ``None`` or ``0`` means one per CPU.
+        Results are identical either way.
+    cache:
+        Optional :class:`ResultCache`; hits skip simulation entirely.
+    progress:
+        Optional callback invoked with a :class:`CellEvent` as each
+        unit resolves (cache hits first, then runs as they finish).
+    """
+
+    def __init__(self, jobs: Optional[int] = 1, *,
+                 cache: Optional[ResultCache] = None,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        if not jobs:
+            jobs = os.cpu_count() or 1
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress
+        self.stats = MatrixStats()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> AveragedResult:
+        """Run (or recall) one spec; mean of its seeds."""
+        return self.run_many([spec])[0]
+
+    def run_many(self, specs: Sequence[ExperimentSpec]
+                 ) -> List[AveragedResult]:
+        """Run a batch of specs, fanning all their units out together.
+
+        Batching matters: a six-table report hands the pool every
+        (cell, seed) unit at once instead of draining one row before
+        starting the next.
+        """
+        started = time.perf_counter()
+        units: List[Tuple[ExperimentSpec, int]] = [
+            (spec, seed) for spec in specs for seed in spec.seeds]
+        slots: List[Optional[RunResult]] = [None] * len(units)
+        total = len(units)
+        completed = 0
+
+        pending: List[int] = []
+        for index, (spec, seed) in enumerate(units):
+            cached = (self.cache.get(spec, seed)
+                      if self.cache is not None else None)
+            if cached is not None:
+                slots[index] = cached
+                completed += 1
+                self.stats.cache_hits += 1
+                self._emit(spec, seed, "hit", 0.0, completed, total)
+            else:
+                if self.cache is not None:
+                    self.stats.cache_misses += 1
+                pending.append(index)
+
+        for index, result, wall in self._execute(units, pending):
+            spec, seed = units[index]
+            slots[index] = result
+            completed += 1
+            self.stats.sim_runs += 1
+            self.stats.unit_wall_times[(spec.label, seed)] = wall
+            if self.cache is not None:
+                self.cache.put(spec, seed, result)
+            self._emit(spec, seed, "run", wall, completed, total)
+
+        self.stats.specs += len(specs)
+        self.stats.units += total
+        self.stats.wall_time += time.perf_counter() - started
+
+        averaged: List[AveragedResult] = []
+        cursor = 0
+        for spec in specs:
+            runs = slots[cursor:cursor + spec.runs]
+            cursor += spec.runs
+            averaged.append(AveragedResult(list(runs)))
+        return averaged
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+    def _execute(self, units, pending):
+        """Yield (index, result, wall) for each pending unit."""
+        if not pending:
+            return
+        workers = min(self.jobs, len(pending))
+        if workers <= 1:
+            for index in pending:
+                spec, seed = units[index]
+                result, wall = run_unit(spec, seed)
+                yield index, result, wall
+            return
+        payload = [(index, units[index][0], units[index][1])
+                   for index in pending]
+        with multiprocessing.Pool(processes=workers) as pool:
+            # chunksize=1: cells vary 50x in cost (LAN reval vs PPP
+            # first-time); coarse chunks would serialize the tail.
+            yield from pool.imap_unordered(_pool_entry, payload,
+                                           chunksize=1)
+
+    def _emit(self, spec, seed, status, wall, completed, total) -> None:
+        if self.progress is not None:
+            self.progress(CellEvent(spec=spec, seed=seed, status=status,
+                                    wall_time=wall, completed=completed,
+                                    total=total))

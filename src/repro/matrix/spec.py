@@ -1,0 +1,285 @@
+"""Declarative experiment specifications and grid expansion.
+
+An :class:`ExperimentSpec` names one cell of the paper's experiment
+grid — protocol mode, scenario, network environment, server — plus the
+seeds to average over, the link jitter, and any client-configuration
+overrides.  All four axes accept canonical string names resolved by
+:mod:`repro.core.registry`; the spec stores the canonical strings, so
+two specs that mean the same experiment compare (and hash) equal, which
+is what the on-disk result cache keys off.
+
+:class:`ExperimentMatrix` is the cartesian product of the axes:
+``expand()`` yields one spec per (mode, scenario, environment, server)
+combination, in table order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import (Any, Dict, Iterator, List, Mapping, Sequence, Tuple,
+                    Union)
+
+from ..client.robot import ClientConfig
+from ..core.modes import ALL_MODES, TABLE_MODES, ProtocolMode
+from ..core.registry import (TABLE_CELLS, UnknownNameError,
+                             resolve_environment, resolve_mode,
+                             resolve_profile, resolve_scenario)
+from ..core.runner import DEFAULT_JITTER
+from ..server.profiles import ServerProfile
+from ..simnet.link import NetworkEnvironment
+
+__all__ = ["DEFAULT_SEEDS", "ExperimentSpec", "ExperimentMatrix",
+           "client_config_overrides"]
+
+#: The paper averaged five seeded runs per cell.
+DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2, 3, 4)
+
+_CLIENT_FIELDS = {field.name for field in
+                  dataclasses.fields(ClientConfig)}
+
+Modeish = Union[str, ProtocolMode]
+Environmentish = Union[str, NetworkEnvironment]
+Serverish = Union[str, ServerProfile]
+
+
+def _freeze(value: Any) -> Any:
+    """Canonicalize an override value into a hashable form."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    raise TypeError(f"client override values must be scalars or "
+                    f"sequences, got {type(value).__name__}")
+
+
+def _canonical_overrides(overrides) -> Tuple[Tuple[str, Any], ...]:
+    if isinstance(overrides, Mapping):
+        items = list(overrides.items())
+    else:
+        items = [tuple(pair) for pair in overrides]
+    canon = []
+    for name, value in sorted(items):
+        if name not in _CLIENT_FIELDS:
+            raise UnknownNameError(
+                f"unknown client config field {name!r} (choose from: "
+                f"{', '.join(sorted(_CLIENT_FIELDS))})")
+        canon.append((name, _freeze(value)))
+    return tuple(canon)
+
+
+def client_config_overrides(mode: Modeish,
+                            config: ClientConfig
+                            ) -> Tuple[Tuple[str, Any], ...]:
+    """Express ``config`` as overrides of ``mode``'s default config.
+
+    The returned pairs satisfy ``replace(mode_config, **overrides) ==
+    config`` field for field, which is how a fully custom client (a
+    browser profile, the pre-tuning robot) becomes a declarative,
+    hashable spec.
+    """
+    base = dataclasses.asdict(resolve_mode(mode).client_config())
+    wanted = dataclasses.asdict(config)
+    return tuple(sorted((name, _freeze(value))
+                        for name, value in wanted.items()
+                        if _freeze(value) != _freeze(base[name])))
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully specified cell of the experiment grid.
+
+    Axis fields accept objects or names and are stored canonicalized
+    (``"pipelined"`` becomes ``"HTTP/1.1 Pipelined"``), so equal
+    experiments are equal specs.
+    """
+
+    mode: str = "HTTP/1.1 Pipelined"
+    scenario: str = "first-time"
+    environment: str = "LAN"
+    server: str = "Apache"
+    seeds: Tuple[int, ...] = DEFAULT_SEEDS
+    jitter: float = DEFAULT_JITTER
+    client_overrides: Tuple[Tuple[str, Any], ...] = ()
+    verify: bool = True
+    max_sim_time: float = 1200.0
+
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__
+        set_(self, "mode", resolve_mode(self.mode).name)
+        set_(self, "scenario", resolve_scenario(self.scenario))
+        set_(self, "environment",
+             resolve_environment(self.environment).name)
+        set_(self, "server", resolve_profile(self.server).name)
+        seeds = self.seeds
+        if isinstance(seeds, int):
+            seeds = (seeds,)
+        set_(self, "seeds", tuple(int(seed) for seed in seeds))
+        if not self.seeds:
+            raise ValueError("spec needs at least one seed")
+        set_(self, "jitter", float(self.jitter))
+        set_(self, "client_overrides",
+             _canonical_overrides(self.client_overrides))
+        set_(self, "verify", bool(self.verify))
+        set_(self, "max_sim_time", float(self.max_sim_time))
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolved_mode(self) -> ProtocolMode:
+        return resolve_mode(self.mode)
+
+    def resolved_environment(self) -> NetworkEnvironment:
+        return resolve_environment(self.environment)
+
+    def resolved_profile(self) -> ServerProfile:
+        return resolve_profile(self.server)
+
+    def client_config(self) -> ClientConfig:
+        """The mode's configuration with this spec's overrides applied."""
+        base = self.resolved_mode().client_config()
+        return dataclasses.replace(base, **dict(self.client_overrides))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def runs(self) -> int:
+        return len(self.seeds)
+
+    @property
+    def label(self) -> str:
+        """Compact human label for progress output."""
+        return (f"{self.mode} | {self.scenario} | {self.environment} "
+                f"| {self.server}")
+
+    def units(self) -> Iterator[Tuple["ExperimentSpec", int]]:
+        """The (cell, seed) work units this spec expands to."""
+        for seed in self.seeds:
+            yield self, seed
+
+    def canonical_dict(self) -> Dict[str, Any]:
+        """JSON-stable identity of the cell, *excluding* seeds.
+
+        Seeds select work units within the cell; the cache keys each
+        (cell, seed) unit separately so re-averaging over a different
+        seed list reuses every unit already measured.
+        """
+        return {
+            "mode": self.mode,
+            "scenario": self.scenario,
+            "environment": self.environment,
+            "server": self.server,
+            "jitter": self.jitter,
+            "client_overrides": [[name, value] for name, value
+                                 in self.client_overrides],
+            "verify": self.verify,
+            "max_sim_time": self.max_sim_time,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_client_config(cls, mode: Modeish, scenario: str,
+                          environment: Environmentish, server: Serverish,
+                          config: ClientConfig,
+                          **kwargs) -> "ExperimentSpec":
+        """Build a spec whose client is exactly ``config``.
+
+        The config is stored as overrides of the mode's default, so the
+        spec stays declarative and cache-keyable.
+        """
+        return cls(mode=mode, scenario=scenario, environment=environment,
+                   server=server,
+                   client_overrides=client_config_overrides(mode, config),
+                   **kwargs)
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        """A copy with ``changes`` applied (axes re-canonicalized)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentMatrix:
+    """A cartesian grid of experiment cells.
+
+    ``expand()`` emits specs in table order — server, then environment,
+    then mode, then scenario — matching how the paper lays out
+    Tables 4-9.
+    """
+
+    modes: Tuple[str, ...] = tuple(mode.name for mode in ALL_MODES)
+    scenarios: Tuple[str, ...] = ("first-time", "revalidate")
+    environments: Tuple[str, ...] = ("LAN", "WAN", "PPP")
+    servers: Tuple[str, ...] = ("Jigsaw", "Apache")
+    seeds: Tuple[int, ...] = DEFAULT_SEEDS
+    jitter: float = DEFAULT_JITTER
+    client_overrides: Tuple[Tuple[str, Any], ...] = ()
+    verify: bool = True
+
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__
+
+        def axis(value, resolver, attribute):
+            values = (value,) if isinstance(value, str) else tuple(value)
+            resolved = tuple(getattr(resolver(v), attribute)
+                             for v in values)
+            if not resolved:
+                raise ValueError("matrix axes cannot be empty")
+            if len(set(resolved)) != len(resolved):
+                raise ValueError(f"duplicate axis entries: {resolved}")
+            return resolved
+
+        set_(self, "modes", axis(self.modes, resolve_mode, "name"))
+        set_(self, "environments",
+             axis(self.environments, resolve_environment, "name"))
+        set_(self, "servers", axis(self.servers, resolve_profile, "name"))
+        scenarios = ((self.scenarios,) if isinstance(self.scenarios, str)
+                     else tuple(self.scenarios))
+        resolved = tuple(resolve_scenario(s) for s in scenarios)
+        if len(set(resolved)) != len(resolved):
+            raise ValueError(f"duplicate scenarios: {resolved}")
+        set_(self, "scenarios", resolved)
+        seeds = self.seeds
+        if isinstance(seeds, int):
+            seeds = (seeds,)
+        set_(self, "seeds", tuple(int(seed) for seed in seeds))
+        set_(self, "jitter", float(self.jitter))
+        set_(self, "client_overrides",
+             _canonical_overrides(self.client_overrides))
+
+    def __len__(self) -> int:
+        return (len(self.modes) * len(self.scenarios)
+                * len(self.environments) * len(self.servers))
+
+    def expand(self) -> List[ExperimentSpec]:
+        """All cells of the grid, in table order."""
+        return [
+            ExperimentSpec(mode=mode, scenario=scenario,
+                           environment=environment, server=server,
+                           seeds=self.seeds, jitter=self.jitter,
+                           client_overrides=self.client_overrides,
+                           verify=self.verify)
+            for server, environment, mode, scenario in itertools.product(
+                self.servers, self.environments, self.modes,
+                self.scenarios)
+        ]
+
+    @classmethod
+    def for_table(cls, number: int, *,
+                  seeds: Sequence[int] = DEFAULT_SEEDS
+                  ) -> "ExperimentMatrix":
+        """The grid behind one of the paper's protocol tables (4-9).
+
+        Honors the paper's row structure: the PPP tables omit HTTP/1.0.
+        """
+        if number not in TABLE_CELLS:
+            raise UnknownNameError(
+                f"unknown protocol table {number!r} (choose from: "
+                f"{', '.join(str(n) for n in sorted(TABLE_CELLS))})")
+        server, environment = TABLE_CELLS[number]
+        return cls(modes=tuple(mode.name
+                               for mode in TABLE_MODES[environment]),
+                   environments=(environment,), servers=(server,),
+                   seeds=tuple(seeds))

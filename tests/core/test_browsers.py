@@ -10,7 +10,8 @@ from repro.simnet import LAN
 
 
 def run_browser(browser, scenario, profile):
-    return run_experiment(HTTP10_MODE, scenario, LAN, profile, seed=0,
+    return run_experiment(HTTP10_MODE, scenario, environment=LAN,
+                          profile=profile, seed=0,
                           client_config=browser.client_config())
 
 
@@ -27,7 +28,8 @@ def test_browser_configs():
 
 def test_browser_requests_more_verbose_than_robot():
     from repro.core import HTTP11_PIPELINED
-    robot = run_experiment(HTTP11_PIPELINED, FIRST_TIME, LAN, APACHE,
+    robot = run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=LAN,
+                           profile=APACHE,
                            seed=0)
     netscape = run_browser(NETSCAPE_40B5, FIRST_TIME, APACHE)
     assert (netscape.fetch.mean_request_bytes
@@ -69,7 +71,8 @@ def test_netscape_beats_ie_on_jigsaw_reval():
 def test_robot_pipeline_beats_browsers():
     """The tuned HTTP/1.1 robot outperforms both product browsers."""
     from repro.core import HTTP11_PIPELINED
-    robot = run_experiment(HTTP11_PIPELINED, REVALIDATE, LAN, APACHE,
+    robot = run_experiment(HTTP11_PIPELINED, REVALIDATE, environment=LAN,
+                           profile=APACHE,
                            seed=0)
     for browser in BROWSERS:
         result = run_browser(browser, REVALIDATE, APACHE)

@@ -67,8 +67,8 @@ def test_lan_timeline_fast():
 def test_tail_requests_created_only_for_large_images():
     """Images smaller than the prefix complete in one 206."""
     from repro.content import build_microscape_site
-    from repro.core.runner import _resource_store
     from repro.core.render import _RenderObserver
+    from repro.server.static import ResourceStore
     from repro.http import MemoryCache
     from repro.server.base import SimHttpServer
     from repro.simnet.network import SERVER_HOST, TwoHostNetwork
@@ -76,7 +76,8 @@ def test_tail_requests_created_only_for_large_images():
 
     site = build_microscape_site()
     net = TwoHostNetwork(LAN)
-    SimHttpServer(net.sim, net.server, _resource_store(site), APACHE)
+    SimHttpServer(net.sim, net.server, ResourceStore.from_site(site),
+                  APACHE)
     robot = Robot(net.sim, net.client, SERVER_HOST, 80,
                   cfg(range_prefix_bytes=256), MemoryCache())
     result = robot.fetch(site.html_url, FIRST_TIME)

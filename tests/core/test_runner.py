@@ -21,7 +21,7 @@ def lan_cells():
     for mode in ALL_MODES:
         for scenario in (FIRST_TIME, REVALIDATE):
             cells[(mode.name, scenario)] = run_experiment(
-                mode, scenario, LAN, APACHE, seed=0)
+                mode, scenario, environment=LAN, profile=APACHE, seed=0)
     return cells
 
 
@@ -73,9 +73,10 @@ def test_persistent_without_pipelining_not_faster_than_http10():
     """'An HTTP/1.1 implementation that does not implement pipelining
     will perform worse (have higher elapsed time) than an HTTP/1.0
     implementation using multiple connections.'  (Strongest on WAN.)"""
-    http10 = run_experiment(HTTP10_MODE, FIRST_TIME, WAN, APACHE, seed=0)
-    persistent = run_experiment(HTTP11_PERSISTENT, FIRST_TIME, WAN,
-                                APACHE, seed=0)
+    http10 = run_experiment(HTTP10_MODE, FIRST_TIME, environment=WAN,
+                            profile=APACHE, seed=0)
+    persistent = run_experiment(HTTP11_PERSISTENT, FIRST_TIME, environment=WAN,
+                                profile=APACHE, seed=0)
     assert persistent.elapsed > http10.elapsed
     # ...while using far fewer packets.
     assert persistent.packets < http10.packets / 1.5
@@ -83,10 +84,12 @@ def test_persistent_without_pipelining_not_faster_than_http10():
 
 def test_pipelined_beats_http10_elapsed_everywhere():
     for environment in (LAN, WAN):
-        http10 = run_experiment(HTTP10_MODE, FIRST_TIME, environment,
-                                APACHE, seed=0)
+        http10 = run_experiment(HTTP10_MODE, FIRST_TIME,
+                                environment=environment,
+                                profile=APACHE, seed=0)
         pipelined = run_experiment(HTTP11_PIPELINED, FIRST_TIME,
-                                   environment, APACHE, seed=0)
+                                   environment=environment, profile=APACHE,
+                                   seed=0)
         assert pipelined.elapsed < http10.elapsed
 
 
@@ -147,7 +150,8 @@ def test_packet_trains_lengthen(lan_cells):
 
 def test_ppp_elapsed_is_bandwidth_dominated():
     """PPP first-time ≈ payload / effective modem rate."""
-    result = run_experiment(HTTP11_PIPELINED, FIRST_TIME, PPP, APACHE,
+    result = run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=PPP,
+                            profile=APACHE,
                             seed=0)
     floor = result.payload_bytes * 8.3 / 28_800 * 0.8
     assert result.elapsed > floor
@@ -157,7 +161,8 @@ def test_ppp_elapsed_is_bandwidth_dominated():
 # Runner machinery
 # ----------------------------------------------------------------------
 def test_run_repeated_averages(lan_cells):
-    averaged = run_repeated(HTTP11_PIPELINED, REVALIDATE, LAN, APACHE,
+    averaged = run_repeated(HTTP11_PIPELINED, REVALIDATE, environment=LAN,
+                            profile=APACHE,
                             runs=3)
     assert len(averaged.runs) == 3
     packets = [r.packets for r in averaged.runs]
@@ -165,13 +170,17 @@ def test_run_repeated_averages(lan_cells):
 
 
 def test_same_seed_same_result():
-    a = run_experiment(HTTP11_PIPELINED, FIRST_TIME, LAN, APACHE, seed=7)
-    b = run_experiment(HTTP11_PIPELINED, FIRST_TIME, LAN, APACHE, seed=7)
+    a = run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=LAN,
+                       profile=APACHE, seed=7)
+    b = run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=LAN,
+                       profile=APACHE, seed=7)
     assert a.packets == b.packets
     assert a.elapsed == b.elapsed
 
 
 def test_different_seeds_vary_elapsed():
-    a = run_experiment(HTTP11_PIPELINED, FIRST_TIME, WAN, APACHE, seed=1)
-    b = run_experiment(HTTP11_PIPELINED, FIRST_TIME, WAN, APACHE, seed=2)
+    a = run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=WAN,
+                       profile=APACHE, seed=1)
+    b = run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=WAN,
+                       profile=APACHE, seed=2)
     assert a.elapsed != b.elapsed

@@ -1,0 +1,116 @@
+"""ResultCache: round-trips, misses, invalidation, atomicity."""
+
+import json
+
+import pytest
+
+from repro.core.runner import RunResult
+from repro.matrix import ExperimentSpec, ResultCache
+from repro.matrix.cache import (RESULT_FIELDS, result_from_payload,
+                                result_to_payload)
+
+
+def synthetic_result(**overrides) -> RunResult:
+    values = dict(
+        packets=431, payload_bytes=180_000, percent_overhead=12.5,
+        elapsed=1.853, packets_client_to_server=230,
+        packets_server_to_client=201, connections_used=43,
+        max_parallel_connections=4, retries=2,
+        server_cpu_seconds=0.0912, mean_packets_per_connection=10.02,
+        mean_packet_size=417.9, mean_request_bytes=301.5,
+        statuses={200: 42, 304: 1}, fetch=None, trace=None)
+    values.update(overrides)
+    return RunResult(**values)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_payload_round_trip_preserves_every_field():
+    original = synthetic_result()
+    hydrated = result_from_payload(
+        json.loads(json.dumps(result_to_payload(original))))
+    for name in RESULT_FIELDS:
+        assert getattr(hydrated, name) == getattr(original, name)
+    assert hydrated.statuses == {200: 42, 304: 1}   # int keys again
+    assert hydrated.fetch is None
+    assert hydrated.trace is None
+
+
+def test_get_put_round_trip(cache):
+    spec = ExperimentSpec()
+    assert cache.get(spec, 0) is None
+    result = synthetic_result()
+    cache.put(spec, 0, result)
+    hydrated = cache.get(spec, 0)
+    assert hydrated is not None
+    assert hydrated.packets == result.packets
+    assert hydrated.elapsed == result.elapsed
+    assert hydrated.statuses == result.statuses
+    assert len(cache) == 1
+
+
+def test_float_values_round_trip_bit_identically(cache):
+    result = synthetic_result(elapsed=0.21802617626928156,
+                              percent_overhead=7.123456789012345)
+    cache.put(ExperimentSpec(), 3, result)
+    hydrated = cache.get(ExperimentSpec(), 3)
+    assert hydrated.elapsed == result.elapsed
+    assert hydrated.percent_overhead == result.percent_overhead
+
+
+def test_different_seed_is_a_miss(cache):
+    cache.put(ExperimentSpec(), 0, synthetic_result())
+    assert cache.get(ExperimentSpec(), 1) is None
+
+
+def test_seed_list_does_not_change_unit_keys(cache):
+    """Re-averaging over more seeds reuses every unit already stored."""
+    cache.put(ExperimentSpec(seeds=(0, 1)), 0, synthetic_result())
+    assert cache.get(ExperimentSpec(seeds=(0, 1, 2, 3)), 0) is not None
+
+
+def test_spec_changes_invalidate(cache):
+    spec = ExperimentSpec()
+    cache.put(spec, 0, synthetic_result())
+    assert cache.get(spec.replace(jitter=0.05), 0) is None
+    assert cache.get(spec.replace(environment="WAN"), 0) is None
+    assert cache.get(spec.replace(
+        client_overrides={"max_connections": 2}), 0) is None
+    assert cache.get(spec.replace(verify=False), 0) is None
+
+
+def test_version_bump_invalidates(tmp_path):
+    spec = ExperimentSpec()
+    old = ResultCache(tmp_path, version="1.0.0")
+    new = ResultCache(tmp_path, version="1.1.0")
+    old.put(spec, 0, synthetic_result())
+    assert new.get(spec, 0) is None
+    assert old.get(spec, 0) is not None
+
+
+def test_corrupt_entry_is_a_miss(cache):
+    spec = ExperimentSpec()
+    cache.put(spec, 0, synthetic_result())
+    cache.path(spec, 0).write_text("{not json")
+    assert cache.get(spec, 0) is None
+
+
+def test_clear_and_len(cache):
+    for seed in range(3):
+        cache.put(ExperimentSpec(), seed, synthetic_result())
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+    assert cache.get(ExperimentSpec(), 0) is None
+
+
+def test_entries_record_their_identity(cache):
+    """Cache files carry the spec they were keyed from (debuggability)."""
+    spec = ExperimentSpec(mode="1.0", environment="ppp")
+    cache.put(spec, 4, synthetic_result())
+    entry = json.loads(cache.path(spec, 4).read_text())
+    assert entry["seed"] == 4
+    assert entry["spec"] == spec.canonical_dict()

@@ -1,0 +1,143 @@
+"""MatrixRunner: serial/parallel equivalence, caching, observability."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.runner import run_repeated
+from repro.matrix import (ExperimentMatrix, ExperimentSpec, MatrixRunner,
+                          ResultCache)
+from repro.matrix.cache import RESULT_FIELDS
+
+#: The cheapest cell in the grid (~10 ms a run): used everywhere speed
+#: matters more than coverage.
+FAST = dict(mode="pipelined", scenario="revalidate",
+            environment="LAN", server="Apache")
+
+
+def assert_results_identical(a, b):
+    """Every averaged measurement column matches bit for bit."""
+    for name in RESULT_FIELDS:
+        if name in ("retries", "mean_request_bytes"):
+            continue   # per-run fields, not averaged properties
+        assert getattr(a, name) == getattr(b, name), name
+    for run_a, run_b in zip(a.runs, b.runs):
+        for name in RESULT_FIELDS:
+            assert getattr(run_a, name) == getattr(run_b, name), name
+        assert run_a.statuses == run_b.statuses
+
+
+def test_serial_matches_run_repeated():
+    spec = ExperimentSpec(seeds=(0, 1), **FAST)
+    matrix_result = MatrixRunner().run(spec)
+    legacy = run_repeated(spec.mode, spec.scenario,
+                          environment=spec.environment,
+                          profile=spec.server, seeds=(0, 1))
+    assert matrix_result.packets == legacy.packets
+    assert matrix_result.elapsed == legacy.elapsed
+    assert matrix_result.percent_overhead == legacy.percent_overhead
+
+
+def test_results_are_stripped_of_transcripts():
+    result = MatrixRunner().run(ExperimentSpec(seeds=(0,), **FAST))
+    assert result.runs[0].fetch is None
+    assert result.runs[0].trace is None
+    assert result.runs[0].packets > 0
+
+
+def test_parallel_equals_serial_across_cells():
+    specs = [
+        ExperimentSpec(mode=mode, seeds=(0, 1), **axes)
+        for mode in ("HTTP/1.1", "pipelined")
+        for axes in ({"scenario": "revalidate", "environment": "LAN",
+                      "server": "Apache"},
+                     {"scenario": "revalidate", "environment": "LAN",
+                      "server": "Jigsaw"})]
+    serial = MatrixRunner(jobs=1).run_many(specs)
+    parallel = MatrixRunner(jobs=2).run_many(specs)
+    for a, b in zip(serial, parallel):
+        assert_results_identical(a, b)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seeds=st.lists(st.integers(min_value=0, max_value=40),
+                      min_size=1, max_size=3, unique=True))
+def test_parallel_equals_serial_property(seeds):
+    """Any seed list: jobs=2 and jobs=1 agree bit for bit."""
+    spec = ExperimentSpec(seeds=tuple(seeds), **FAST)
+    assert_results_identical(MatrixRunner(jobs=1).run(spec),
+                             MatrixRunner(jobs=2).run(spec))
+
+
+def test_cache_second_pass_simulates_nothing(tmp_path):
+    specs = [ExperimentSpec(seeds=(0, 1), **FAST),
+             ExperimentSpec(seeds=(0, 1),
+                            **{**FAST, "mode": "HTTP/1.1"})]
+    cache = ResultCache(tmp_path / "cache")
+
+    first = MatrixRunner(cache=cache)
+    cold = first.run_many(specs)
+    assert first.stats.sim_runs == 4
+    assert first.stats.cache_hits == 0
+    assert first.stats.cache_misses == 4
+
+    second = MatrixRunner(cache=cache)
+    warm = second.run_many(specs)
+    assert second.stats.sim_runs == 0
+    assert second.stats.cache_hits == 4
+    assert second.stats.cache_misses == 0
+    for a, b in zip(cold, warm):
+        assert_results_identical(a, b)
+
+
+def test_cache_partial_hit_runs_only_new_seeds(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    MatrixRunner(cache=cache).run(ExperimentSpec(seeds=(0,), **FAST))
+    runner = MatrixRunner(cache=cache)
+    runner.run(ExperimentSpec(seeds=(0, 1), **FAST))
+    assert runner.stats.cache_hits == 1
+    assert runner.stats.sim_runs == 1
+
+
+def test_progress_events_and_stats():
+    events = []
+    runner = MatrixRunner(progress=events.append)
+    spec = ExperimentSpec(seeds=(0, 1), **FAST)
+    runner.run(spec)
+    assert len(events) == 2
+    assert [e.completed for e in events] == [1, 2]
+    assert all(e.total == 2 for e in events)
+    assert all(e.status == "run" for e in events)
+    assert all(e.wall_time > 0 for e in events)
+    assert all(spec.label == e.label for e in events)
+    stats = runner.stats
+    assert stats.specs == 1
+    assert stats.units == 2
+    assert stats.sim_runs == 2
+    assert set(stats.unit_wall_times) == {(spec.label, 0),
+                                          (spec.label, 1)}
+    assert "2 runs requested" in stats.summary()
+
+
+def test_cache_hits_emit_hit_events(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    spec = ExperimentSpec(seeds=(0,), **FAST)
+    MatrixRunner(cache=cache).run(spec)
+    events = []
+    MatrixRunner(cache=cache, progress=events.append).run(spec)
+    assert [e.status for e in events] == ["hit"]
+    assert events[0].wall_time == 0.0
+
+
+def test_jobs_zero_means_cpu_count():
+    assert MatrixRunner(jobs=0).jobs >= 1
+    assert MatrixRunner(jobs=None).jobs >= 1
+
+
+@pytest.mark.slow
+def test_full_table_parallel_equals_serial():
+    """Whole-table sweep: Table 4's grid, parallel vs serial."""
+    specs = ExperimentMatrix.for_table(4, seeds=(0,)).expand()
+    serial = MatrixRunner(jobs=1).run_many(specs)
+    parallel = MatrixRunner(jobs=4).run_many(specs)
+    for a, b in zip(serial, parallel):
+        assert_results_identical(a, b)

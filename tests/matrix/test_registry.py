@@ -1,0 +1,70 @@
+"""The shared name registry: every axis resolves the same way everywhere."""
+
+import pytest
+
+from repro.core import (HTTP10_MODE, HTTP11_PIPELINED, FIRST_TIME,
+                        REVALIDATE)
+from repro.core.registry import (MODES, PROFILES, TABLE_CELLS,
+                                 UnknownNameError, resolve_environment,
+                                 resolve_mode, resolve_profile,
+                                 resolve_scenario)
+from repro.server import APACHE
+from repro.simnet import WAN
+
+
+def test_canonical_names_resolve():
+    assert resolve_mode("HTTP/1.0") is HTTP10_MODE
+    assert resolve_profile("Apache") is APACHE
+    assert resolve_environment("WAN") is WAN
+    assert resolve_scenario("first-time") == FIRST_TIME
+
+
+def test_aliases_and_case_insensitivity():
+    assert resolve_mode("pipelined").name == "HTTP/1.1 Pipelined"
+    assert resolve_mode("1.0") is HTTP10_MODE
+    assert resolve_mode("http/1.1 pipelined") is resolve_mode("pipelined")
+    assert resolve_profile("apache") is APACHE
+    assert resolve_environment("wan") is WAN
+    assert resolve_scenario("reval") == REVALIDATE
+    assert resolve_scenario("Revalidate") == REVALIDATE
+
+
+def test_objects_pass_through_unchanged():
+    assert resolve_mode(HTTP11_PIPELINED) is HTTP11_PIPELINED
+    assert resolve_profile(APACHE) is APACHE
+    assert resolve_environment(WAN) is WAN
+
+
+@pytest.mark.parametrize("resolver,kind,bogus", [
+    (resolve_mode, "mode", "spdy"),
+    (resolve_environment, "environment", "satellite"),
+    (resolve_profile, "server", "nginx"),
+    (resolve_scenario, "scenario", "third-time"),
+])
+def test_unknown_names_raise_with_choices(resolver, kind, bogus):
+    with pytest.raises(UnknownNameError) as excinfo:
+        resolver(bogus)
+    message = str(excinfo.value)
+    assert f"unknown {kind} {bogus!r}" in message
+    assert "choose from:" in message
+
+
+def test_unknown_name_error_is_a_value_error():
+    with pytest.raises(ValueError):
+        resolve_mode("gopher")
+
+
+def test_table_cells_cover_tables_4_to_9():
+    assert sorted(TABLE_CELLS) == [4, 5, 6, 7, 8, 9]
+    assert TABLE_CELLS[4] == ("Jigsaw", "LAN")
+    assert TABLE_CELLS[9] == ("Apache", "PPP")
+    for server, environment in TABLE_CELLS.values():
+        assert server in PROFILES
+        assert resolve_environment(environment).name == environment
+
+
+def test_registry_maps_are_canonical():
+    for name, mode in MODES.items():
+        assert mode.name == name
+    for name, profile in PROFILES.items():
+        assert profile.name == name

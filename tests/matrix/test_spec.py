@@ -1,0 +1,183 @@
+"""ExperimentSpec / ExperimentMatrix: canonicalization and expansion."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.client.robot import ClientConfig
+from repro.core import HTTP10_MODE, HTTP11_PIPELINED, UnknownNameError
+from repro.core.browsers import BROWSERS
+from repro.matrix import (DEFAULT_SEEDS, ExperimentMatrix, ExperimentSpec,
+                          client_config_overrides)
+
+
+# ----------------------------------------------------------------------
+# Spec canonicalization
+# ----------------------------------------------------------------------
+def test_axes_canonicalize_to_registry_names():
+    spec = ExperimentSpec(mode="pipelined", scenario="reval",
+                          environment="wan", server="apache")
+    assert spec.mode == "HTTP/1.1 Pipelined"
+    assert spec.scenario == "revalidate"
+    assert spec.environment == "WAN"
+    assert spec.server == "Apache"
+
+
+def test_equal_experiments_are_equal_specs():
+    by_alias = ExperimentSpec(mode="1.1", scenario="first",
+                              environment="lan", server="jigsaw")
+    by_name = ExperimentSpec(mode="HTTP/1.1", scenario="first-time",
+                             environment="LAN", server="Jigsaw")
+    assert by_alias == by_name
+    assert hash(by_alias) == hash(by_name)
+
+
+def test_mode_object_accepted():
+    spec = ExperimentSpec(mode=HTTP11_PIPELINED)
+    assert spec.mode == HTTP11_PIPELINED.name
+    assert spec.resolved_mode() is HTTP11_PIPELINED
+
+
+def test_defaults():
+    spec = ExperimentSpec()
+    assert spec.seeds == DEFAULT_SEEDS
+    assert spec.runs == len(DEFAULT_SEEDS)
+
+
+def test_single_int_seed_becomes_tuple():
+    assert ExperimentSpec(seeds=7).seeds == (7,)
+
+
+def test_empty_seeds_rejected():
+    with pytest.raises(ValueError):
+        ExperimentSpec(seeds=())
+
+
+def test_unknown_mode_raises():
+    with pytest.raises(UnknownNameError, match="unknown mode"):
+        ExperimentSpec(mode="spdy")
+
+
+def test_units_enumerates_cell_seed_pairs():
+    spec = ExperimentSpec(seeds=(3, 5))
+    assert list(spec.units()) == [(spec, 3), (spec, 5)]
+
+
+def test_label_names_all_axes():
+    label = ExperimentSpec().label
+    for part in ("HTTP/1.1 Pipelined", "first-time", "LAN", "Apache"):
+        assert part in label
+
+
+# ----------------------------------------------------------------------
+# Client overrides
+# ----------------------------------------------------------------------
+def test_overrides_dict_becomes_sorted_tuple():
+    spec = ExperimentSpec(client_overrides={"pipeline": False,
+                                            "max_connections": 2})
+    assert spec.client_overrides == (("max_connections", 2),
+                                     ("pipeline", False))
+
+
+def test_unknown_override_field_rejected():
+    with pytest.raises(UnknownNameError, match="client config field"):
+        ExperimentSpec(client_overrides={"warp_speed": True})
+
+
+def test_client_config_applies_overrides():
+    spec = ExperimentSpec(mode="pipelined",
+                          client_overrides={"max_connections": 2})
+    config = spec.client_config()
+    assert config.max_connections == 2
+    assert config.pipeline is True   # mode default preserved
+
+
+def test_for_client_config_round_trips():
+    for browser in BROWSERS:
+        wanted = browser.client_config()
+        spec = ExperimentSpec.for_client_config(
+            HTTP10_MODE, "first-time", "PPP", "Jigsaw", wanted)
+        assert spec.client_config() == wanted
+
+
+def test_client_config_overrides_empty_for_mode_default():
+    default = HTTP11_PIPELINED.client_config()
+    assert client_config_overrides(HTTP11_PIPELINED, default) == ()
+    assert client_config_overrides("pipelined", default) == ()
+
+
+def test_canonical_dict_is_json_stable_and_seedless():
+    a = ExperimentSpec(seeds=(0, 1))
+    b = ExperimentSpec(seeds=(5,))
+    assert a.canonical_dict() == b.canonical_dict()
+    blob = json.dumps(a.canonical_dict(), sort_keys=True)
+    assert json.loads(blob) == a.canonical_dict()
+    assert "seeds" not in a.canonical_dict()
+
+
+def test_replace_recanonicalizes():
+    spec = ExperimentSpec().replace(mode="1.0", environment="ppp")
+    assert spec.mode == "HTTP/1.0"
+    assert spec.environment == "PPP"
+
+
+# ----------------------------------------------------------------------
+# Matrix expansion
+# ----------------------------------------------------------------------
+def test_full_matrix_size():
+    matrix = ExperimentMatrix()
+    assert len(matrix) == 4 * 2 * 3 * 2
+    specs = matrix.expand()
+    assert len(specs) == len(matrix)
+    assert len(set(specs)) == len(specs)
+
+
+def test_expand_order_is_server_env_mode_scenario():
+    matrix = ExperimentMatrix(modes=("1.0", "pipelined"),
+                              scenarios=("first", "reval"),
+                              environments=("LAN", "WAN"),
+                              servers=("Jigsaw", "Apache"))
+    specs = matrix.expand()
+    assert [s.server for s in specs[:8]] == ["Jigsaw"] * 8
+    assert [s.environment for s in specs[:4]] == ["LAN"] * 4
+    assert specs[0].mode == "HTTP/1.0"
+    assert specs[0].scenario == "first-time"
+    assert specs[1].scenario == "revalidate"
+    assert specs[2].mode == "HTTP/1.1 Pipelined"
+
+
+def test_matrix_axes_canonicalize_and_reject_duplicates():
+    matrix = ExperimentMatrix(modes=("pipelined",),
+                              environments="wan", servers="apache")
+    assert matrix.modes == ("HTTP/1.1 Pipelined",)
+    assert matrix.environments == ("WAN",)
+    with pytest.raises(ValueError, match="duplicate"):
+        ExperimentMatrix(modes=("pipelined", "HTTP/1.1 Pipelined"))
+    with pytest.raises(ValueError, match="empty"):
+        ExperimentMatrix(environments=())
+
+
+def test_for_table_ppp_omits_http10():
+    matrix = ExperimentMatrix.for_table(8, seeds=(0,))
+    assert matrix.servers == ("Jigsaw",)
+    assert matrix.environments == ("PPP",)
+    assert "HTTP/1.0" not in matrix.modes
+    assert len(matrix.expand()) == 6
+
+
+def test_for_table_lan_has_eight_cells():
+    matrix = ExperimentMatrix.for_table(5)
+    assert matrix.servers == ("Apache",)
+    assert len(matrix.expand()) == 8
+    assert "HTTP/1.0" in matrix.modes
+
+
+def test_for_table_unknown_number():
+    with pytest.raises(UnknownNameError, match="unknown protocol table"):
+        ExperimentMatrix.for_table(12)
+
+
+def test_specs_usable_as_dict_keys():
+    seen = {spec: spec.label for spec in ExperimentMatrix().expand()}
+    assert len(seen) == 48

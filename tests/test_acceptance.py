@@ -25,7 +25,7 @@ def wan_cells():
                  HTTP11_PIPELINED_COMPRESSED):
         for scenario in (FIRST_TIME, REVALIDATE):
             cells[(mode.name, scenario)] = run_experiment(
-                mode, scenario, WAN, APACHE, seed=3)
+                mode, scenario, environment=WAN, profile=APACHE, seed=3)
     return cells
 
 
@@ -34,15 +34,19 @@ def test_pipelining_packet_savings_all_environments():
     ten, in terms of packets transmitted' — every environment tested."""
     for environment in (LAN, WAN):
         for profile in (APACHE, JIGSAW):
-            http10 = run_experiment(HTTP10_MODE, FIRST_TIME, environment,
-                                    profile, seed=1)
+            http10 = run_experiment(HTTP10_MODE, FIRST_TIME,
+                                    environment=environment,
+                                    profile=profile, seed=1)
             pipelined = run_experiment(HTTP11_PIPELINED, FIRST_TIME,
-                                       environment, profile, seed=1)
+                                       environment=environment,
+                                       profile=profile, seed=1)
             assert http10.packets / pipelined.packets >= 2.0
             reval10 = run_experiment(HTTP10_MODE, REVALIDATE,
-                                     environment, profile, seed=1)
+                                     environment=environment, profile=profile,
+                                     seed=1)
             revalpl = run_experiment(HTTP11_PIPELINED, REVALIDATE,
-                                     environment, profile, seed=1)
+                                     environment=environment, profile=profile,
+                                     seed=1)
             assert reval10.packets / revalpl.packets >= 10.0
 
 
@@ -73,7 +77,8 @@ def test_compression_adds_packet_and_payload_savings(wan_cells):
 
 
 def test_ppp_is_bandwidth_dominated():
-    result = run_experiment(HTTP11_PIPELINED, FIRST_TIME, PPP, APACHE,
+    result = run_experiment(HTTP11_PIPELINED, FIRST_TIME, environment=PPP,
+                            profile=APACHE,
                             seed=1)
     floor = result.payload_bytes * 8.3 / 28_800
     assert result.elapsed > floor * 0.75
@@ -110,7 +115,8 @@ def test_every_paper_cell_within_factor_two_on_packets():
                                     HTTP11_PIPELINED_COMPRESSED)
                         if m.name == mode_name)
             cell = run_experiment(mode, scenario,
-                                  ENVIRONMENTS[environment], profile,
+                                  environment=ENVIRONMENTS[environment],
+                                  profile=profile,
                                   seed=2)
             ratio = cell.packets / expected.packets
             assert 0.5 <= ratio <= 2.0, (
