@@ -1,0 +1,15 @@
+#!/bin/sh
+# Time the representative benchmark cells and (re)write
+# BENCH_simnet.json at the repo root.  The file's baseline section is
+# preserved across runs, so speedup_vs_baseline tracks the simulator's
+# perf trajectory PR over PR.
+#
+#   scripts/bench.sh                # 3 repetitions per cell, best kept
+#   scripts/bench.sh --quick        # 1 repetition (CI smoke mode)
+#   scripts/bench.sh --repeats 10   # more repetitions for stable numbers
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+exec python -m repro bench "$@"

@@ -28,4 +28,21 @@ python -m repro report --runs 1 --jobs 2 --cache \
     || { echo "check.sh: cached report re-ran simulations" >&2; exit 1; }
 rm -rf "$SMOKE_CACHE"
 
+# Benchmark smoke: one repetition per cell into a throwaway file, then
+# validate the emitted JSON against the schema the repo's tooling reads.
+BENCH_SMOKE=".repro-cache/check-bench.json"
+rm -f "$BENCH_SMOKE"
+python -m repro bench --quick --output "$BENCH_SMOKE" > /dev/null
+python - "$BENCH_SMOKE" <<'EOF'
+import json, sys
+from repro.perf import validate_bench_payload
+with open(sys.argv[1]) as fh:
+    payload = json.load(fh)
+problems = validate_bench_payload(payload)
+for problem in problems:
+    print(f"check.sh: bench schema problem: {problem}", file=sys.stderr)
+sys.exit(1 if problems else 0)
+EOF
+rm -f "$BENCH_SMOKE"
+
 echo "check.sh: all green"

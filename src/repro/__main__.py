@@ -16,6 +16,10 @@ Commands
     Print the synthetic Microscape site inventory.
 ``report``
     Regenerate the full paper-vs-measured report (EXPERIMENTS.md body).
+``bench``
+    Time one representative cell per (mode, environment) pair and write
+    ``BENCH_simnet.json`` (see DESIGN.md, "Engine internals and
+    performance").
 
 ``table``, ``modem`` and ``report`` accept ``--jobs N`` (parallel
 worker processes), ``--cache`` (reuse results from ``.repro-cache/``)
@@ -141,6 +145,27 @@ def _cmd_site(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import run_benchmark, validate_bench_payload
+    payload = run_benchmark(args.output, quick=args.quick,
+                            repeats=args.repeats)
+    problems = validate_bench_payload(payload)
+    if problems:
+        for problem in problems:
+            print(f"bench schema problem: {problem}", file=sys.stderr)
+        return 1
+    cells = payload["current"]["cells"]
+    speedups = [entry["speedup_vs_baseline"] for entry in cells.values()
+                if "speedup_vs_baseline" in entry]
+    if speedups:
+        print(f"wrote {args.output}: {len(cells)} cells, speedup vs "
+              f"baseline {min(speedups):.2f}x..{max(speedups):.2f}x")
+    else:
+        print(f"wrote {args.output}: {len(cells)} cells "
+              f"(baseline recorded)")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     runner = _make_runner(args)
     print(generate_experiments_report(runs=args.runs,
@@ -187,6 +212,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     site = sub.add_parser("site", help="print the Microscape inventory")
     site.set_defaults(fn=_cmd_site)
+
+    bench = sub.add_parser("bench",
+                           help="time representative cells, write "
+                                "BENCH_simnet.json")
+    bench.add_argument("--quick", action="store_true",
+                       help="one repetition per cell (CI smoke mode)")
+    bench.add_argument("--repeats", type=int, default=None, metavar="N",
+                       help="repetitions per cell (default 3, best kept)")
+    bench.add_argument("--output", default="BENCH_simnet.json",
+                       metavar="PATH", help="output JSON path")
+    bench.set_defaults(fn=_cmd_bench)
 
     report = sub.add_parser("report",
                             help="full paper-vs-measured report")

@@ -49,20 +49,38 @@ class Token:
         return self.attrs.get(attribute.lower(), default)
 
 
+#: Memoized tag classifications.  The robot re-parses the same 42 KB
+#: page once per simulated run, and the matrix multiplies runs, so the
+#: same raw tag strings recur endlessly; classification (two regexes +
+#: attribute dict) is by far the tokenizer's hottest work.  Tokens are
+#: frozen and no caller mutates ``attrs``, so sharing them is safe.
+_CLASSIFY_CACHE: Dict[str, Token] = {}
+_CLASSIFY_CACHE_MAX = 8192
+
+
 class HtmlTokenizer:
     """Streaming tokenizer: feed chunks, receive completed tokens.
 
     Text tokens may be split at chunk boundaries (they are emitted as
     soon as available — a browser renders text incrementally); tags,
     comments and declarations are held until complete.
+
+    The scanner walks the buffer with an index (``_pos``) and compacts
+    only when fed the next chunk, so tokenizing an N-byte document costs
+    O(N) instead of the O(N·tags) of re-slicing the remaining buffer
+    after every tag.
     """
 
     def __init__(self) -> None:
         self._buffer = ""
+        self._pos = 0
         self._state = "text"       # text | markup | comment
 
     def feed(self, chunk: str) -> List[Token]:
         """Consume a chunk; return the tokens it completed."""
+        if self._pos:
+            self._buffer = self._buffer[self._pos:]
+            self._pos = 0
         self._buffer += chunk
         tokens: List[Token] = []
         while True:
@@ -78,47 +96,61 @@ class HtmlTokenizer:
 
     def finish(self) -> List[Token]:
         """Flush any trailing text at end of input."""
-        if self._state == "text" and self._buffer:
-            token = Token("text", self._buffer)
+        if self._state == "text" and self._pos < len(self._buffer):
+            token = Token("text", self._buffer[self._pos:])
             self._buffer = ""
+            self._pos = 0
             return [token]
         return []
 
     # ------------------------------------------------------------------
     def _take_text(self, tokens: List[Token]) -> bool:
-        lt = self._buffer.find("<")
+        buf = self._buffer
+        pos = self._pos
+        lt = buf.find("<", pos)
         if lt == -1:
-            if self._buffer:
-                tokens.append(Token("text", self._buffer))
+            if pos < len(buf):
+                tokens.append(Token("text", buf[pos:]))
                 self._buffer = ""
+                self._pos = 0
             return False
-        if lt > 0:
-            tokens.append(Token("text", self._buffer[:lt]))
-            self._buffer = self._buffer[lt:]
-        if self._buffer.startswith("<!--"):
+        if lt > pos:
+            tokens.append(Token("text", buf[pos:lt]))
+            self._pos = pos = lt
+        if buf.startswith("<!--", pos):
             self._state = "comment"
-        elif self._buffer in ("<", "<!", "<!-"):
+        elif len(buf) - pos < 4 and buf[pos:] in ("<", "<!", "<!-"):
             return False    # not enough lookahead to rule out a comment
         else:
             self._state = "markup"
         return True
 
     def _take_markup(self, tokens: List[Token]) -> bool:
-        gt = self._buffer.find(">")
+        buf = self._buffer
+        pos = self._pos
+        gt = buf.find(">", pos)
         if gt == -1:
             return False
-        raw = self._buffer[1:gt]
-        self._buffer = self._buffer[gt + 1:]
+        raw = buf[pos + 1:gt]
+        self._pos = gt + 1
         self._state = "text"
-        tokens.append(self._classify(raw))
+        token = _CLASSIFY_CACHE.get(raw)
+        if token is None:
+            if len(_CLASSIFY_CACHE) >= _CLASSIFY_CACHE_MAX:
+                _CLASSIFY_CACHE.clear()
+            token = self._classify(raw)
+            _CLASSIFY_CACHE[raw] = token
+        tokens.append(token)
         return True
 
     def _take_comment(self, tokens: List[Token]) -> bool:
-        end = self._buffer.find("-->", 4)
+        buf = self._buffer
+        pos = self._pos
+        end = buf.find("-->", pos + 4)
         if end == -1:
             return False
-        tokens.append(Token("comment", self._buffer[4:end]))
-        self._buffer = self._buffer[end + 3:]
+        tokens.append(Token("comment", buf[pos + 4:end]))
+        self._pos = end + 3
         self._state = "text"
         return True
 

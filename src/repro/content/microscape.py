@@ -69,6 +69,12 @@ class MicroscapeSite:
 
     objects: Dict[str, SiteObject]
     html_url: str = HTML_URL
+    #: Memoized (html body, parsed URL list); the HTML is parsed lazily
+    #: and re-parsed only if the body object is swapped out.  Every
+    #: experiment run consults the URL list (request planning and
+    #: result verification), so parsing 42 KB per call was a hot path.
+    _embedded_cache: Optional[Tuple[bytes, List[str]]] = dataclasses.field(
+        default=None, init=False, repr=False, compare=False)
 
     @property
     def html(self) -> SiteObject:
@@ -81,8 +87,13 @@ class MicroscapeSite:
 
     def embedded_urls(self) -> List[str]:
         """Distinct embedded URLs in page order (the 42 GETs' targets)."""
-        return html_mod.distinct_image_urls(
-            self.html.body.decode("latin-1"))
+        body = self.html.body
+        cache = self._embedded_cache
+        if cache is None or cache[0] is not body:
+            cache = (body, html_mod.distinct_image_urls(
+                body.decode("latin-1")))
+            self._embedded_cache = cache
+        return list(cache[1])
 
     def all_urls(self) -> List[str]:
         """HTML first, then embedded objects: the 43 request targets."""

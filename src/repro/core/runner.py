@@ -16,6 +16,7 @@ import statistics
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..client.robot import ClientConfig, FetchResult, Robot
+from ..perf import PerfCounters
 from ..content.microscape import MicroscapeSite, build_microscape_site
 from ..http import MemoryCache
 from ..server.base import SimHttpServer
@@ -72,6 +73,8 @@ class RunResult:
     statuses: Dict[int, int]
     fetch: FetchResult
     trace: TraceSummary
+    #: Full tcpdump-style trace lines (only when ``keep_trace=True``).
+    trace_lines: Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -127,6 +130,27 @@ class AveragedResult:
     def mean_packet_size(self) -> float:
         return self._mean("mean_packet_size")
 
+    @property
+    def perf(self) -> PerfCounters:
+        """Aggregate simulator work counters across the seeded runs.
+
+        Monotonic counters sum; ``heap_peak`` reports the worst run.
+        Runs whose trace carries no counters (hand-built summaries)
+        contribute nothing.
+        """
+        total = PerfCounters()
+        for run in self.runs:
+            counters = run.trace.perf
+            if counters is None:
+                continue
+            total.events_processed += counters.events_processed
+            total.events_cancelled += counters.events_cancelled
+            total.heap_peak = max(total.heap_peak, counters.heap_peak)
+            total.heap_purges += counters.heap_purges
+            total.segments += counters.segments
+            total.cancels_avoided += counters.cancels_avoided
+        return total
+
 
 def _default_site_and_store() -> Tuple[MicroscapeSite, ResourceStore]:
     global _DEFAULT_SITE_AND_STORE
@@ -147,6 +171,7 @@ def run_experiment(mode: Union[str, ProtocolMode],
                    flush_timeout: Optional[float] = 0.05,
                    explicit_flush: bool = True,
                    verify: bool = True,
+                   keep_trace: bool = False,
                    max_sim_time: float = 1200.0) -> RunResult:
     """Run one (mode, scenario, environment, server) cell.
 
@@ -160,6 +185,8 @@ def run_experiment(mode: Union[str, ProtocolMode],
     ablations (flush policies, Nagle, buffer sizes).  ``store`` supplies
     a prebuilt :class:`ResourceStore` for a custom ``site``; without it
     a fresh store is built (the default site's store is memoized).
+    ``keep_trace=True`` preserves the full tcpdump-style trace as
+    :attr:`RunResult.trace_lines` (the golden-trace tests rely on it).
     """
     mode = resolve_mode(mode)
     scenario = resolve_scenario(scenario)
@@ -213,7 +240,8 @@ def run_experiment(mode: Union[str, ProtocolMode],
         mean_request_bytes=result.mean_request_bytes,
         statuses=statuses,
         fetch=result,
-        trace=trace)
+        trace=trace,
+        trace_lines=net.trace.format_trace() if keep_trace else None)
 
 
 def _verify(result: FetchResult, scenario: str,

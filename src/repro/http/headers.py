@@ -4,6 +4,11 @@ HTTP field names are case-insensitive (RFC 2068 §4.2) but the paper's
 byte counts depend on exactly what goes on the wire, so :class:`Headers`
 preserves the original spelling and ordering for serialization while
 matching case-insensitively for lookups.
+
+Lookups are a hot path — every simulated request/response consults a
+handful of fields — so the collection maintains a parallel list of
+lowercased names, paying ``str.lower`` once per field at insertion
+instead of once per field per lookup.
 """
 
 from __future__ import annotations
@@ -24,9 +29,12 @@ class Headers:
     True
     """
 
+    __slots__ = ("_items", "_lower")
+
     def __init__(self,
                  items: Optional[Iterable[Tuple[str, str]]] = None) -> None:
         self._items: List[Tuple[str, str]] = []
+        self._lower: List[str] = []
         if items:
             for name, value in items:
                 self.add(name, value)
@@ -37,6 +45,7 @@ class Headers:
     def add(self, name: str, value: str) -> None:
         """Append a field, keeping any existing fields of the same name."""
         self._items.append((name, str(value)))
+        self._lower.append(name.lower())
 
     def set(self, name: str, value: str) -> None:
         """Replace all fields named ``name`` with a single field."""
@@ -46,9 +55,13 @@ class Headers:
     def remove(self, name: str) -> int:
         """Remove all fields named ``name``; returns how many were removed."""
         lowered = name.lower()
+        if lowered not in self._lower:
+            return 0
         before = len(self._items)
-        self._items = [(n, v) for n, v in self._items
-                       if n.lower() != lowered]
+        kept = [(item, low) for item, low in zip(self._items, self._lower)
+                if low != lowered]
+        self._items = [item for item, _ in kept]
+        self._lower = [low for _, low in kept]
         return before - len(self._items)
 
     # ------------------------------------------------------------------
@@ -57,15 +70,16 @@ class Headers:
     def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
         """First value of field ``name``, or ``default``."""
         lowered = name.lower()
-        for field_name, value in self._items:
-            if field_name.lower() == lowered:
-                return value
-        return default
+        try:
+            return self._items[self._lower.index(lowered)][1]
+        except ValueError:
+            return default
 
     def get_all(self, name: str) -> List[str]:
         """All values of field ``name`` in order."""
         lowered = name.lower()
-        return [v for n, v in self._items if n.lower() == lowered]
+        return [item[1] for item, low in zip(self._items, self._lower)
+                if low == lowered]
 
     def get_int(self, name: str) -> Optional[int]:
         """Integer value of field ``name``, or None if absent/invalid."""
@@ -91,7 +105,7 @@ class Headers:
         return False
 
     def __contains__(self, name: str) -> bool:
-        return self.get(name) is not None
+        return name.lower() in self._lower
 
     def __len__(self) -> int:
         return len(self._items)
@@ -105,7 +119,10 @@ class Headers:
 
     def copy(self) -> "Headers":
         """A shallow copy preserving order and spelling."""
-        return Headers(self._items)
+        duplicate = Headers()
+        duplicate._items = list(self._items)
+        duplicate._lower = list(self._lower)
+        return duplicate
 
     # ------------------------------------------------------------------
     # Wire format

@@ -1,0 +1,210 @@
+"""Performance counters and the ``python -m repro bench`` harness.
+
+The simulator core is the dominant cost of reproducing the paper's
+tables: every cell is thousands of discrete events, and the experiment
+matrix multiplies that by mode × scenario × environment × server × seed.
+This module gives the repo a perf trajectory:
+
+* :class:`PerfCounters` — cheap monotonic counters maintained by the
+  engine (:class:`~repro.simnet.engine.Simulator`) and the TCP layer,
+  surfaced through :class:`~repro.simnet.trace.TraceSummary` and
+  :class:`~repro.core.runner.AveragedResult` so any experiment can
+  report how much simulation work it cost.
+* :func:`run_benchmark` — times one representative first-time cell per
+  (mode, environment) pair and writes ``BENCH_simnet.json``.  The file
+  keeps a **baseline** section (recorded before the PR-2 hot-path
+  optimization and preserved on rewrite) next to the **current**
+  numbers, so ``speedup_vs_baseline`` tracks the perf trajectory
+  across PRs instead of being a single throwaway measurement.
+
+Counter semantics
+-----------------
+``events_processed``
+    Callbacks actually fired by :meth:`Simulator.run`.
+``events_cancelled``
+    Cancelled heap entries discarded (lazily at pop time or by a purge).
+``heap_peak``
+    High-water mark of the event heap, cancelled entries included.
+``heap_purges``
+    Opportunistic rebuilds that evicted dead entries in bulk.
+``segments``
+    TCP segments handed to a link by any endpoint.
+``cancels_avoided``
+    Timer (re)arms the deadline-based lazy timers absorbed without
+    touching the heap — each one was a schedule+cancel pair before the
+    optimization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["PerfCounters", "BenchCell", "BENCH_SCHEMA_VERSION",
+           "representative_cells", "run_benchmark",
+           "validate_bench_payload"]
+
+#: Bumped whenever the shape of ``BENCH_simnet.json`` changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Fields every per-cell entry in ``BENCH_simnet.json`` must carry.
+_CELL_REQUIRED_KEYS = ("wall_time", "runs", "events_processed",
+                       "heap_peak", "segments", "cancels_avoided")
+
+
+@dataclasses.dataclass
+class PerfCounters:
+    """Monotonic work counters for one :class:`Simulator` lifetime."""
+
+    events_processed: int = 0
+    events_cancelled: int = 0
+    heap_peak: int = 0
+    heap_purges: int = 0
+    segments: int = 0
+    cancels_avoided: int = 0
+
+    def snapshot(self) -> "PerfCounters":
+        """An immutable-by-convention copy (for embedding in summaries)."""
+        return dataclasses.replace(self)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Benchmark harness
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class BenchCell:
+    """One timed cell of the benchmark matrix."""
+
+    mode: str
+    environment: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.mode}|{self.environment}"
+
+
+def representative_cells() -> List[BenchCell]:
+    """One first-time cell per (mode, environment) the paper ran.
+
+    Follows :data:`repro.core.modes.TABLE_MODES`, so the HTTP/1.0 row
+    is omitted on PPP exactly as in Tables 8–9.
+    """
+    from .core.modes import TABLE_MODES
+    cells = []
+    for environment in ("LAN", "WAN", "PPP"):
+        for mode in TABLE_MODES[environment]:
+            cells.append(BenchCell(mode.name, environment))
+    return cells
+
+
+def _time_cell(cell: BenchCell, repeats: int) -> Dict[str, object]:
+    """Run one cell ``repeats`` times; report best wall time + counters."""
+    from .core.runner import run_experiment
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_experiment(cell.mode, "first-time",
+                                environment=cell.environment,
+                                profile="Apache", seed=0)
+        times.append(time.perf_counter() - start)
+    perf = result.trace.perf or PerfCounters()
+    return {
+        "wall_time": min(times),
+        "wall_time_mean": sum(times) / len(times),
+        "runs": repeats,
+        "packets": result.packets,
+        "events_processed": perf.events_processed,
+        "events_cancelled": perf.events_cancelled,
+        "heap_peak": perf.heap_peak,
+        "heap_purges": perf.heap_purges,
+        "segments": perf.segments,
+        "cancels_avoided": perf.cancels_avoided,
+    }
+
+
+def run_benchmark(output_path: str = "BENCH_simnet.json", *,
+                  quick: bool = False, repeats: Optional[int] = None,
+                  log: Callable[[str], None] = lambda line: print(
+                      line, file=sys.stderr)) -> Dict[str, object]:
+    """Time the representative cells and (re)write ``output_path``.
+
+    An existing file's ``baseline`` section is preserved verbatim; when
+    the file has none (or does not exist), the freshly measured numbers
+    *become* the baseline for future runs.  ``quick`` does a single
+    repetition per cell (the CI smoke mode); the default is three,
+    keeping the best wall time as real benchmark harnesses do.
+    """
+    from .core.runner import run_experiment
+    repeats = repeats if repeats is not None else (1 if quick else 3)
+    # Warm the memoized site/store so cell timings measure simulation.
+    run_experiment("pipelined", "first-time", environment="LAN",
+                   profile="Apache", seed=0)
+    previous: Dict[str, object] = {}
+    try:
+        with open(output_path) as fh:
+            previous = json.load(fh)
+    except (OSError, ValueError):
+        previous = {}
+    current_cells: Dict[str, Dict[str, object]] = {}
+    for cell in representative_cells():
+        measured = _time_cell(cell, repeats)
+        current_cells[cell.key] = measured
+        log(f"  bench {cell.key:45s} {measured['wall_time'] * 1000:8.2f} ms"
+            f"  ({measured['events_processed']} events)")
+    baseline = previous.get("baseline")
+    if not isinstance(baseline, dict) or "cells" not in baseline:
+        baseline = {
+            "note": "first recorded run; baseline for future sessions",
+            "cells": {key: {"wall_time": entry["wall_time"]}
+                      for key, entry in current_cells.items()},
+        }
+    for key, entry in current_cells.items():
+        base = baseline["cells"].get(key, {}).get("wall_time")
+        if base and entry["wall_time"] > 0:
+            entry["speedup_vs_baseline"] = round(
+                base / entry["wall_time"], 3)
+    payload = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "quick": quick,
+        "baseline": baseline,
+        "current": {"cells": current_cells},
+    }
+    with open(output_path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def validate_bench_payload(payload: Dict[str, object]) -> List[str]:
+    """Schema check for ``BENCH_simnet.json``; returns problem strings.
+
+    Used by ``scripts/check.sh`` so a malformed benchmark artifact
+    fails CI instead of silently rotting.
+    """
+    problems = []
+    if payload.get("schema") != BENCH_SCHEMA_VERSION:
+        problems.append(f"schema must be {BENCH_SCHEMA_VERSION}")
+    baseline = payload.get("baseline")
+    if not isinstance(baseline, dict) \
+            or not isinstance(baseline.get("cells"), dict):
+        problems.append("missing baseline.cells")
+    current = payload.get("current")
+    if not isinstance(current, dict) \
+            or not isinstance(current.get("cells"), dict):
+        problems.append("missing current.cells")
+        return problems
+    for key, entry in current["cells"].items():
+        for field in _CELL_REQUIRED_KEYS:
+            if field not in entry:
+                problems.append(f"cell {key!r} missing {field!r}")
+        wall = entry.get("wall_time")
+        if not isinstance(wall, (int, float)) or wall <= 0:
+            problems.append(f"cell {key!r} wall_time not positive")
+    return problems

@@ -7,6 +7,15 @@ timestamp order; ties are broken by scheduling order, which makes every
 run fully deterministic (a property the paper's real testbed obviously
 lacked, and which we exploit heavily in tests).
 
+Internally the heap holds plain ``(time, seq, event)`` tuples, so the
+C implementation of :mod:`heapq` compares tuples natively instead of
+calling back into a Python ``__lt__`` per comparison; ``seq`` is unique,
+so the :class:`Event` payload is never compared.  Cancellation is lazy —
+the handle is flagged and the heap entry discarded when it surfaces —
+with an opportunistic purge that rebuilds the heap once dead entries
+outnumber live ones, keeping connection-heavy simulations from carrying
+cancelled RTO/delayed-ACK entries for their whole lifetime.
+
 Example
 -------
 >>> sim = Simulator()
@@ -23,10 +32,14 @@ Example
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..perf import PerfCounters
+
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+#: Don't bother purging tiny heaps; rebuilds only pay off at scale.
+_PURGE_MIN_DEAD = 64
 
 
 class SimulationError(RuntimeError):
@@ -41,22 +54,27 @@ class Event:
     Cancellation is O(1): the event is flagged and skipped when popped.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int,
-                 callback: Callable[..., Any], args: Tuple[Any, ...]):
+                 callback: Callable[..., Any], args: Tuple[Any, ...],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -72,12 +90,18 @@ class Simulator:
     now:
         The current simulated time in seconds.  Starts at 0.0 and only
         moves forward.
+    perf:
+        :class:`~repro.perf.PerfCounters` accumulated over the
+        simulator's lifetime (events fired, heap high-water mark, …).
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Event] = []
-        self._seq = itertools.count()
+        self.perf = PerfCounters()
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
+        self._live = 0      # scheduled, not cancelled, not yet fired
+        self._dead = 0      # cancelled entries still buried in the heap
         self._running = False
         self._stopped = False
 
@@ -101,9 +125,38 @@ class Simulator:
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}")
-        event = Event(time, next(self._seq), callback, args)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args, self)
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, event))
+        self._live += 1
+        perf = self.perf
+        if len(heap) > perf.heap_peak:
+            perf.heap_peak = len(heap)
         return event
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for a cancelled pending event (called by Event)."""
+        self._live -= 1
+        self._dead += 1
+        if self._dead >= _PURGE_MIN_DEAD and self._dead > self._live:
+            self._purge()
+
+    def _purge(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Entries order on the unique ``(time, seq)`` prefix, so a
+        heapify of the survivors yields the exact same pop order as
+        draining the old heap — determinism is unaffected.
+        """
+        survivors = [entry for entry in self._heap
+                     if not entry[2].cancelled]
+        self.perf.events_cancelled += len(self._heap) - len(survivors)
+        heapq.heapify(survivors)
+        self._heap = survivors
+        self._dead = 0
+        self.perf.heap_purges += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -118,30 +171,37 @@ class Simulator:
             If given, stop once the next event would fire after ``until``
             and advance the clock to exactly ``until``.
         max_events:
-            Safety valve against runaway simulations; exceeded ⇒
-            :class:`SimulationError`.
+            Safety valve against runaway simulations: at most this many
+            events fire, exceeding it ⇒ :class:`SimulationError`.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
         processed = 0
+        perf = self.perf
+        pop = heapq.heappop
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
+            while self._heap and not self._stopped:
+                time, _seq, event = self._heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(self._heap)
+                    self._dead -= 1
+                    perf.events_cancelled += 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     self.now = until
                     return
-                heapq.heappop(self._queue)
-                self.now = event.time
-                event.callback(*event.args)
-                processed += 1
-                if processed > max_events:
+                if processed >= max_events:
                     raise SimulationError(
                         f"exceeded {max_events} events; likely a livelock")
+                pop(self._heap)
+                self._live -= 1
+                event._sim = None   # a late cancel() must not decrement
+                self.now = time
+                event.callback(*event.args)
+                processed += 1
+                perf.events_processed += 1
             if until is not None and not self._stopped:
                 self.now = max(self.now, until)
         finally:
@@ -152,8 +212,12 @@ class Simulator:
         self._stopped = True
 
     def pending_events(self) -> int:
-        """Number of scheduled, non-cancelled events (for tests)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of scheduled, non-cancelled events.  O(1)."""
+        return self._live
+
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included (for tests)."""
+        return len(self._heap)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Simulator now={self.now:.6f} pending={self.pending_events()}>"

@@ -51,18 +51,25 @@ class LzwEncoder:
     parameter does (default 6 octets) — the reason modem compression
     tops out well below what an unbounded LZW achieves on repetitive
     text like HTTP headers.  ``None`` removes the cap.
+
+    The dictionary stores each string as ``(prefix_code << 8) | byte``
+    rather than the bytes themselves: every multi-byte string enters the
+    dictionary exactly once, as its prefix's code plus one byte, so the
+    pair key identifies it uniquely and the per-byte probe is an
+    int-keyed dict lookup with no allocation.  Codes 0–255 are the
+    implicit single-byte strings.
     """
 
     def __init__(self, max_string: Optional[int] = None) -> None:
         self.max_string = max_string
         self._reset_dictionary()
-        self._prefix = b""
+        self._prefix_code: Optional[int] = None
+        self._prefix_len = 0
         self.codes_emitted: List[int] = []
         self.bits_emitted = 0
 
     def _reset_dictionary(self) -> None:
-        self._dict: Dict[bytes, int] = {
-            bytes([i]): i for i in range(256)}
+        self._dict: Dict[int, int] = {}
         self._next_code = FIRST_FREE_CODE
         self._code_bits = MIN_CODE_BITS
 
@@ -70,40 +77,66 @@ class LzwEncoder:
         self.codes_emitted.append(code)
         self.bits_emitted += self._code_bits
 
-    def _add_entry(self, entry: bytes) -> None:
-        if self._next_code >= MAX_CODES:
-            self._emit(CLEAR_CODE)
-            self._reset_dictionary()
-            return
-        self._dict[entry] = self._next_code
-        self._next_code += 1
-        if (self._next_code > (1 << self._code_bits)
-                and self._code_bits < MAX_CODE_BITS):
-            self._code_bits += 1
-
     def encode(self, data: bytes) -> int:
-        """Consume ``data``; return bits emitted so far (cumulative)."""
-        prefix = self._prefix
+        """Consume ``data``; return bits emitted so far (cumulative).
+
+        The loop runs once per payload byte of every PPP packet, so the
+        emit / dictionary-grow bookkeeping is inlined on locals rather
+        than calling :meth:`_emit` (which :meth:`flush` still uses for
+        the cold path).
+        """
         limit = self.max_string
-        for i in range(len(data)):
-            byte = data[i:i + 1]
-            candidate = prefix + byte
-            if candidate in self._dict and (limit is None
-                                            or len(candidate) <= limit):
-                prefix = candidate
-            else:
-                self._emit(self._dict[prefix])
-                if limit is None or len(candidate) <= limit:
-                    self._add_entry(candidate)
-                prefix = byte
-        self._prefix = prefix
-        return self.bits_emitted
+        prefix_code = self._prefix_code
+        prefix_len = self._prefix_len
+        pairs = self._dict
+        pairs_get = pairs.get
+        codes_append = self.codes_emitted.append
+        bits = self.bits_emitted
+        code_bits = self._code_bits
+        next_code = self._next_code
+        for byte in data:
+            if prefix_code is None:
+                prefix_code = byte
+                prefix_len = 1
+                continue
+            key = (prefix_code << 8) | byte
+            hit = pairs_get(key)
+            if hit is not None and (limit is None or prefix_len < limit):
+                prefix_code = hit
+                prefix_len += 1
+                continue
+            codes_append(prefix_code)
+            bits += code_bits
+            if limit is None or prefix_len < limit:
+                if next_code >= MAX_CODES:
+                    codes_append(CLEAR_CODE)
+                    bits += code_bits
+                    pairs = {}
+                    pairs_get = pairs.get
+                    next_code = FIRST_FREE_CODE
+                    code_bits = MIN_CODE_BITS
+                else:
+                    pairs[key] = next_code
+                    next_code += 1
+                    if (next_code > (1 << code_bits)
+                            and code_bits < MAX_CODE_BITS):
+                        code_bits += 1
+            prefix_code = byte
+            prefix_len = 1
+        self._prefix_code = prefix_code
+        self._prefix_len = prefix_len
+        self._dict = pairs
+        self._next_code = next_code
+        self._code_bits = code_bits
+        self.bits_emitted = bits
+        return bits
 
     def flush(self) -> int:
         """Emit the pending prefix (frame boundary).  Returns total bits."""
-        if self._prefix:
-            self._emit(self._dict[self._prefix])
-            self._prefix = b""
+        if self._prefix_code is not None:
+            self._emit(self._prefix_code)
+            self._prefix_code = None
+            self._prefix_len = 0
         return self.bits_emitted
 
     def finish(self) -> int:

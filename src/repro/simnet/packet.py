@@ -9,12 +9,17 @@ numbers work out: ``%ov = 40·Pa / (payload + 40·Pa)``).
 Segments carry the *actual* application bytes: the simulated TCP layer
 delivers real HTTP messages to the application code, so request parsing,
 pipelining and compression all operate on genuine byte streams.
+
+:class:`Segment` is the single most-allocated object of a simulation —
+one per packet on the wire — so it is a plain ``__slots__`` class with
+``payload_len`` / ``wire_size`` / ``seq_space`` / ``end_seq`` computed
+once at construction instead of on every property access, and tcpdump
+flag strings interned in a small table instead of rebuilt per packet.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 __all__ = [
     "IP_HEADER_BYTES",
@@ -30,8 +35,20 @@ TCP_HEADER_BYTES = 20
 #: Total per-segment overhead used for the paper's ``%ov`` metric.
 HEADER_BYTES = IP_HEADER_BYTES + TCP_HEADER_BYTES
 
+#: Interned tcpdump-style flag strings, keyed by (syn, fin, rst, psh, ack).
+_FLAG_STRINGS: Dict[Tuple[bool, bool, bool, bool, bool], str] = {}
+for _syn in (False, True):
+    for _fin in (False, True):
+        for _rst in (False, True):
+            for _psh in (False, True):
+                for _ack in (False, True):
+                    _s = (("S" if _syn else "") + ("F" if _fin else "")
+                          + ("R" if _rst else "") + ("P" if _psh else "")
+                          + ("A" if _ack else ""))
+                    _FLAG_STRINGS[(_syn, _fin, _rst, _psh, _ack)] = _s or "."
+del _syn, _fin, _rst, _psh, _ack, _s
 
-@dataclasses.dataclass
+
 class Segment:
     """One TCP segment in flight.
 
@@ -51,60 +68,62 @@ class Segment:
         The application bytes carried (b"" for pure control segments).
     flag_syn, flag_ack, flag_fin, flag_rst, flag_psh:
         TCP flags.
+    payload_len / wire_size / seq_space / end_seq:
+        Derived sizes, precomputed at construction (segments are
+        immutable in payload and flags once built).
     """
 
-    src: str
-    sport: int
-    dst: str
-    dport: int
-    seq: int = 0
-    ack: int = 0
-    payload: bytes = b""
-    flag_syn: bool = False
-    flag_ack: bool = False
-    flag_fin: bool = False
-    flag_rst: bool = False
-    flag_psh: bool = False
-    #: Advertised receive window (flow control).
-    window: int = 65535
-    #: Stamped by the link when the segment is delivered (trace convenience).
-    delivered_at: Optional[float] = None
+    __slots__ = ("src", "sport", "dst", "dport", "seq", "ack", "payload",
+                 "flag_syn", "flag_ack", "flag_fin", "flag_rst",
+                 "flag_psh", "window", "delivered_at", "payload_len",
+                 "wire_size", "seq_space", "end_seq")
 
-    @property
-    def payload_len(self) -> int:
-        """Number of application payload bytes."""
-        return len(self.payload)
+    def __init__(self, src: str, sport: int, dst: str, dport: int,
+                 seq: int = 0, ack: int = 0, payload: bytes = b"",
+                 flag_syn: bool = False, flag_ack: bool = False,
+                 flag_fin: bool = False, flag_rst: bool = False,
+                 flag_psh: bool = False, window: int = 65535,
+                 delivered_at: Optional[float] = None) -> None:
+        self.src = src
+        self.sport = sport
+        self.dst = dst
+        self.dport = dport
+        self.seq = seq
+        self.ack = ack
+        self.payload = payload
+        self.flag_syn = flag_syn
+        self.flag_ack = flag_ack
+        self.flag_fin = flag_fin
+        self.flag_rst = flag_rst
+        self.flag_psh = flag_psh
+        #: Advertised receive window (flow control).
+        self.window = window
+        #: Stamped by the link at delivery (trace convenience).
+        self.delivered_at = delivered_at
+        length = len(payload)
+        self.payload_len = length
+        self.wire_size = length + HEADER_BYTES
+        space = length + (1 if flag_syn else 0) + (1 if flag_fin else 0)
+        self.seq_space = space
+        self.end_seq = seq + space
 
-    @property
-    def wire_size(self) -> int:
-        """Bytes occupying the wire: payload plus TCP/IP headers."""
-        return self.payload_len + HEADER_BYTES
-
-    @property
-    def seq_space(self) -> int:
-        """Sequence-number space consumed (payload, +1 for SYN, +1 for FIN)."""
-        return self.payload_len + (1 if self.flag_syn else 0) + (
-            1 if self.flag_fin else 0)
-
-    @property
-    def end_seq(self) -> int:
-        """Sequence number just past this segment's data."""
-        return self.seq + self.seq_space
+    def replace(self, **overrides: object) -> "Segment":
+        """A copy with ``overrides`` applied (``dataclasses.replace``-style)."""
+        kwargs = {
+            "seq": self.seq, "ack": self.ack, "payload": self.payload,
+            "flag_syn": self.flag_syn, "flag_ack": self.flag_ack,
+            "flag_fin": self.flag_fin, "flag_rst": self.flag_rst,
+            "flag_psh": self.flag_psh, "window": self.window,
+            "delivered_at": self.delivered_at,
+        }
+        kwargs.update(overrides)
+        return Segment(self.src, self.sport, self.dst, self.dport,
+                       **kwargs)
 
     def flags_str(self) -> str:
         """tcpdump-style flag string, e.g. ``'S'``, ``'PA'``, ``'FA'``."""
-        out = []
-        if self.flag_syn:
-            out.append("S")
-        if self.flag_fin:
-            out.append("F")
-        if self.flag_rst:
-            out.append("R")
-        if self.flag_psh:
-            out.append("P")
-        if self.flag_ack:
-            out.append("A")
-        return "".join(out) or "."
+        return _FLAG_STRINGS[(self.flag_syn, self.flag_fin, self.flag_rst,
+                              self.flag_psh, self.flag_ack)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<Segment {self.src}:{self.sport}>{self.dst}:{self.dport}"

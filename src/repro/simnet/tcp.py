@@ -44,6 +44,79 @@ __all__ = ["TcpConfig", "TcpConnection", "TcpListener", "TcpStack",
            "TcpError"]
 
 
+class _LazyTimer:
+    """A deadline-based timer built around one standing engine event.
+
+    The schedule/cancel churn of TCP's timers used to dominate heap
+    traffic: the RTO timer in particular was cancelled and rescheduled
+    on *every* ACK that advanced ``snd_una``.  A lazy timer stores the
+    logical :attr:`deadline` separately from its standing heap event:
+
+    * re-arming to a **later** deadline is a plain attribute write —
+      when the standing event fires it re-checks the deadline and
+      chases it with one reschedule instead of the old
+      cancel-per-update,
+    * re-arming to an **earlier** deadline or disarming cancels the
+      standing event (an O(1) flag; the engine discards it silently,
+      without advancing the clock, exactly as before this refactor),
+    * the timer callback runs only when the stored deadline is really
+      due, so observable behaviour — fire times, segment ordering, the
+      clock value the simulation quiesces at — is bit-identical to the
+      eager implementation.
+
+    Every re-arm absorbed without touching the heap is counted as a
+    ``cancels_avoided`` in the simulator's perf counters.
+    """
+
+    __slots__ = ("_sim", "_fire", "deadline", "_standing")
+
+    def __init__(self, sim: Simulator,
+                 fire: Callable[[], None]) -> None:
+        self._sim = sim
+        self._fire = fire
+        #: When the timer should logically fire (None = disarmed).
+        self.deadline: Optional[float] = None
+        self._standing: Optional[Event] = None
+
+    def arm_at(self, deadline: float) -> None:
+        """Arm (or move) the timer to fire at ``deadline``."""
+        self.deadline = deadline
+        standing = self._standing
+        if standing is None:
+            self._standing = self._sim.schedule_at(deadline,
+                                                   self._on_event)
+        elif deadline < standing.time:
+            standing.cancel()
+            self._standing = self._sim.schedule_at(deadline,
+                                                   self._on_event)
+        else:
+            # Deadline unchanged or pushed later: the standing event
+            # will chase it on fire.  This is the hot path.
+            self._sim.perf.cancels_avoided += 1
+
+    def disarm(self) -> None:
+        """Clear the deadline and drop the standing event."""
+        self.deadline = None
+        if self._standing is not None:
+            self._standing.cancel()
+            self._standing = None
+
+    def _on_event(self) -> None:
+        self._standing = None
+        deadline = self.deadline
+        if deadline is None:
+            return
+        now = self._sim.now
+        if deadline > now:
+            # The deadline moved later since this event was scheduled;
+            # chase it (this replaces the old cancel+reschedule pair).
+            self._standing = self._sim.schedule_at(deadline,
+                                                   self._on_event)
+            return
+        self.deadline = None
+        self._fire()
+
+
 @dataclasses.dataclass
 class TcpConfig:
     """Tunables of a simulated TCP stack.
@@ -154,7 +227,7 @@ class TcpConnection:
         self._pending_eof = False
         #: The peer's most recently advertised receive window.
         self._peer_window = config.rwnd
-        self._persist_event: Optional[Event] = None
+        self._persist_timer = _LazyTimer(self.sim, self._persist_fire)
         self._persist_interval = 1.0
 
         # Congestion control.
@@ -163,7 +236,7 @@ class TcpConnection:
 
         # Loss recovery.
         self._retransmit_queue: List[Segment] = []
-        self._rto_event: Optional[Event] = None
+        self._rto_timer = _LazyTimer(self.sim, self._rto_fire)
         self._srtt: Optional[float] = None
         self._rttvar = 0.0
         self._rto_backoff = 1
@@ -180,7 +253,7 @@ class TcpConnection:
 
         # Delayed-ACK machinery.
         self._segments_unacked = 0
-        self._delack_event: Optional[Event] = None
+        self._delack_timer = _LazyTimer(self.sim, self._delack_fire)
 
         # Socket options.
         self.nodelay = config.nodelay
@@ -334,6 +407,7 @@ class TcpConnection:
         segment.window = self._advertised_window()
         self.segments_sent += 1
         self.bytes_sent += segment.payload_len
+        self.sim.perf.segments += 1
         self.stack.link.transmit(segment)
 
     def _emit_reliable(self, segment: Segment) -> None:
@@ -353,22 +427,17 @@ class TcpConnection:
         return min(self.config.rto_max, rto)
 
     def _arm_rto(self, restart: bool = False) -> None:
-        if self._rto_event is not None:
-            if not restart:
-                return
-            self._rto_event.cancel()
-            self._rto_event = None
+        if self._rto_timer.deadline is not None and not restart:
+            return
         if self._retransmit_queue:
-            self._rto_event = self.sim.schedule(self._current_rto(),
-                                                self._rto_fire)
+            self._rto_timer.arm_at(self.sim.now + self._current_rto())
+        else:
+            self._rto_timer.disarm()
 
     def _cancel_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        self._rto_timer.disarm()
 
     def _rto_fire(self) -> None:
-        self._rto_event = None
         if not self._retransmit_queue or self.state == "CLOSED":
             return
         self.timeouts += 1
@@ -386,26 +455,23 @@ class TcpConnection:
         segment = self._retransmit_queue[0]
         self.retransmissions += 1
         self._rtt_sample = None          # Karn's rule
-        copy = dataclasses.replace(
-            segment, ack=self.rcv_nxt,
+        copy = segment.replace(
+            ack=self.rcv_nxt,
             flag_ack=segment.flag_ack or self.rcv_nxt > 0)
         self._emit_unreliable(copy)
 
     def _arm_persist(self) -> None:
-        if self._persist_event is None:
-            self._persist_event = self.sim.schedule(
-                self._persist_interval, self._persist_fire)
+        if self._persist_timer.deadline is None:
+            self._persist_timer.arm_at(self.sim.now
+                                       + self._persist_interval)
 
     def _cancel_persist(self) -> None:
-        if self._persist_event is not None:
-            self._persist_event.cancel()
-            self._persist_event = None
+        self._persist_timer.disarm()
 
     def _persist_fire(self) -> None:
         """Zero-window probe: push one byte past the closed window so
         the peer re-ACKs with its current window (RFC 1122 persistence;
         without it a lost window update deadlocks the connection)."""
-        self._persist_event = None
         if not self._send_queue or self._peer_window > 0 \
                 or self.in_flight > 0 or self.state == "CLOSED":
             return
@@ -431,9 +497,7 @@ class TcpConnection:
     # Sending data
     # ------------------------------------------------------------------
     def _cancel_delack(self) -> None:
-        if self._delack_event is not None:
-            self._delack_event.cancel()
-            self._delack_event = None
+        self._delack_timer.disarm()
         self._segments_unacked = 0
 
     def _send_pure_ack(self) -> None:
@@ -443,7 +507,6 @@ class TcpConnection:
             seq=self.snd_nxt, ack=self.rcv_nxt, flag_ack=True))
 
     def _delack_fire(self) -> None:
-        self._delack_event = None
         if self._segments_unacked > 0:
             self._send_pure_ack()
 
@@ -693,17 +756,15 @@ class TcpConnection:
             return
         if self._segments_unacked >= self.config.delack_segments:
             self._send_pure_ack()
-        elif self._delack_event is None:
+        elif self._delack_timer.deadline is None:
             period = self.config.delack_delay
             if self.config.delack_heartbeat:
                 # BSD fast-timer: fire at the next multiple of the
                 # period (0..period from now, 100 ms average at 200 ms).
                 next_tick = (int(self.sim.now / period) + 1) * period
-                self._delack_event = self.sim.schedule_at(
-                    next_tick, self._delack_fire)
+                self._delack_timer.arm_at(next_tick)
             else:
-                self._delack_event = self.sim.schedule(
-                    period, self._delack_fire)
+                self._delack_timer.arm_at(self.sim.now + period)
 
     def _handle_fin(self) -> None:
         # FINs are acknowledged immediately (BSD behaviour) so the peer's

@@ -3,12 +3,21 @@
 The paper's primary data-gathering tool was ``tcpdump`` on the client
 host, post-processed into the Pa / Bytes / Sec / %ov columns of
 Tables 3–11.  :class:`TraceCollector` plays the same role for the
-simulator: it taps a :class:`~repro.simnet.link.Link`, records one
-:class:`PacketRecord` per segment, and computes the same summary
-statistics, including per-direction packet counts (Table 3 reports
-"packets from client to server" and "packets from server to client"
-separately) and packet-train lengths (the paper discusses mean packets
-per TCP connection as an Internet-health metric).
+simulator: it taps a :class:`~repro.simnet.link.Link`, records every
+segment, and computes the same summary statistics, including
+per-direction packet counts (Table 3 reports "packets from client to
+server" and "packets from server to client" separately) and
+packet-train lengths (the paper discusses mean packets per TCP
+connection as an Internet-health metric).
+
+Capture is **columnar**: the tap appends each field to a parallel list
+(one ``list.append`` per field) instead of allocating a frozen
+:class:`PacketRecord` dataclass per segment — the collector sits on the
+per-packet hot path of every simulation.  :attr:`TraceCollector.records`
+synthesizes the familiar :class:`PacketRecord` objects on demand (and
+memoizes them), so existing consumers — tests, the xplot exporter —
+read exactly what they always did, while summaries are computed
+straight from the columns.
 """
 
 from __future__ import annotations
@@ -16,6 +25,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from ..perf import PerfCounters
 from .link import Link
 from .packet import HEADER_BYTES, Segment
 
@@ -62,6 +72,9 @@ class TraceSummary:
     duration: float
     mean_packets_per_connection: float
     mean_packet_size: float
+    #: Simulator work counters for the run that produced this trace
+    #: (None for hand-built summaries).
+    perf: Optional[PerfCounters] = None
 
     @property
     def wire_bytes(self) -> int:
@@ -90,33 +103,73 @@ class TraceCollector:
 
     def __init__(self, link: Link, client_host: str) -> None:
         self.client_host = client_host
-        self.records: List[PacketRecord] = []
+        self._sim = link.sim
+        # Parallel columns, one entry per captured segment.
+        self._times: List[float] = []
+        self._srcs: List[str] = []
+        self._sports: List[int] = []
+        self._dsts: List[str] = []
+        self._dports: List[int] = []
+        self._flags: List[str] = []
+        self._seqs: List[int] = []
+        self._acks: List[int] = []
+        self._payload_lens: List[int] = []
+        self._wire_sizes: List[int] = []
+        self._payload_total = 0
+        self._records_cache: Optional[List[PacketRecord]] = None
         link.taps.append(self._tap)
 
     def _tap(self, segment: Segment, now: float) -> None:
-        self.records.append(PacketRecord(
-            time=now, src=segment.src, sport=segment.sport,
-            dst=segment.dst, dport=segment.dport,
-            flags=segment.flags_str(), seq=segment.seq, ack=segment.ack,
-            payload_len=segment.payload_len, wire_size=segment.wire_size))
+        self._times.append(now)
+        self._srcs.append(segment.src)
+        self._sports.append(segment.sport)
+        self._dsts.append(segment.dst)
+        self._dports.append(segment.dport)
+        self._flags.append(segment.flags_str())
+        self._seqs.append(segment.seq)
+        self._acks.append(segment.ack)
+        self._payload_lens.append(segment.payload_len)
+        self._wire_sizes.append(segment.wire_size)
+        self._payload_total += segment.payload_len
+        self._records_cache = None
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def records(self) -> List[PacketRecord]:
+        """The capture as :class:`PacketRecord` objects (synthesized
+        lazily from the columns and memoized until the next packet)."""
+        if self._records_cache is None:
+            self._records_cache = [
+                PacketRecord(*fields) for fields in zip(
+                    self._times, self._srcs, self._sports, self._dsts,
+                    self._dports, self._flags, self._seqs, self._acks,
+                    self._payload_lens, self._wire_sizes)]
+        return self._records_cache
 
     def clear(self) -> None:
         """Discard all captured records."""
-        self.records.clear()
+        for column in (self._times, self._srcs, self._sports, self._dsts,
+                       self._dports, self._flags, self._seqs, self._acks,
+                       self._payload_lens, self._wire_sizes):
+            column.clear()
+        self._payload_total = 0
+        self._records_cache = None
 
     # ------------------------------------------------------------------
     # Summaries
     # ------------------------------------------------------------------
     def summary(self) -> TraceSummary:
         """Compute paper-style aggregate statistics for the capture."""
-        packets = len(self.records)
-        payload = sum(r.payload_len for r in self.records)
+        packets = len(self._times)
+        payload = self._payload_total
         header = packets * HEADER_BYTES
-        c2s = sum(1 for r in self.records if r.src == self.client_host)
+        client = self.client_host
+        c2s = sum(1 for src in self._srcs if src == client)
         s2c = packets - c2s
         flows = self._flows()
-        duration = (self.records[-1].time - self.records[0].time
-                    if self.records else 0.0)
+        duration = (self._times[-1] - self._times[0]) if packets else 0.0
         per_conn = (packets / len(flows)) if flows else 0.0
         mean_size = (payload + header) / packets if packets else 0.0
         return TraceSummary(
@@ -124,15 +177,18 @@ class TraceCollector:
             packets_client_to_server=c2s, packets_server_to_client=s2c,
             connections=len(flows), duration=duration,
             mean_packets_per_connection=per_conn,
-            mean_packet_size=mean_size)
+            mean_packet_size=mean_size,
+            perf=self._sim.perf.snapshot())
 
     def _flows(self) -> Dict[Tuple[str, int, str, int], int]:
         """Group records into bidirectional flows (connections)."""
         flows: Dict[Tuple[str, int, str, int], int] = {}
-        for record in self.records:
-            ends = sorted([(record.src, record.sport),
-                           (record.dst, record.dport)])
-            key = (ends[0][0], ends[0][1], ends[1][0], ends[1][1])
+        for src, sport, dst, dport in zip(self._srcs, self._sports,
+                                          self._dsts, self._dports):
+            if (src, sport) <= (dst, dport):
+                key = (src, sport, dst, dport)
+            else:
+                key = (dst, dport, src, sport)
             flows[key] = flows.get(key, 0) + 1
         return flows
 
@@ -146,7 +202,7 @@ class TraceCollector:
     def format_trace(self, limit: Optional[int] = None) -> str:
         """Render the capture as readable trace lines (like tcpshow)."""
         records = self.records if limit is None else self.records[:limit]
-        start = self.records[0].time if self.records else 0.0
+        start = self._times[0] if self._times else 0.0
         return "\n".join(r.format(start) for r in records)
 
     def time_sequence(self, src: str) -> List[Tuple[float, int]]:
@@ -156,6 +212,9 @@ class TraceCollector:
         the paper used to find implementation problems invisible in raw
         dumps.
         """
-        start = self.records[0].time if self.records else 0.0
-        return [(r.time - start, r.seq + r.payload_len)
-                for r in self.records if r.src == src and r.payload_len]
+        start = self._times[0] if self._times else 0.0
+        return [(t - start, seq + length)
+                for t, s, seq, length in zip(self._times, self._srcs,
+                                             self._seqs,
+                                             self._payload_lens)
+                if s == src and length]

@@ -1,0 +1,94 @@
+"""Perf-counter surfacing and the benchmark harness."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.runner import run_experiment, run_repeated
+from repro.perf import (BENCH_SCHEMA_VERSION, representative_cells,
+                        run_benchmark, validate_bench_payload)
+
+
+def test_trace_summary_carries_perf_counters():
+    result = run_experiment("HTTP/1.1", "first-time", environment="LAN",
+                            profile="Apache", seed=0)
+    perf = result.trace.perf
+    assert perf is not None
+    assert perf.events_processed > 0
+    assert perf.heap_peak > 0
+    assert perf.segments >= result.packets
+
+
+def test_lazy_timers_absorb_rearms():
+    # Every ACKed segment used to pay a cancel+reschedule on the RTO
+    # timer; the deadline-based timers absorb those as attribute writes.
+    result = run_experiment("HTTP/1.1 Pipelined", "first-time",
+                            environment="WAN", profile="Apache", seed=0)
+    assert result.trace.perf.cancels_avoided > 0
+
+
+def test_averaged_result_aggregates_perf():
+    averaged = run_repeated("HTTP/1.1", "first-time", environment="LAN",
+                            profile="Apache", runs=2)
+    per_run = [r.trace.perf for r in averaged.runs]
+    total = averaged.perf
+    assert total.events_processed == sum(p.events_processed
+                                         for p in per_run)
+    assert total.segments == sum(p.segments for p in per_run)
+    assert total.heap_peak == max(p.heap_peak for p in per_run)
+
+
+def test_representative_cells_follow_table_modes():
+    cells = representative_cells()
+    keys = {cell.key for cell in cells}
+    assert "HTTP/1.0|LAN" in keys
+    assert "HTTP/1.0|PPP" not in keys     # Tables 8-9 omit 1.0 on PPP
+    assert len(keys) == len(cells)        # no duplicates
+
+
+def test_validate_bench_payload_flags_problems():
+    good = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "baseline": {"cells": {"m|e": {"wall_time": 0.01}}},
+        "current": {"cells": {"m|e": {
+            "wall_time": 0.005, "runs": 3, "events_processed": 100,
+            "heap_peak": 10, "segments": 50, "cancels_avoided": 5}}},
+    }
+    assert validate_bench_payload(good) == []
+    assert validate_bench_payload({}) != []
+    bad_schema = dict(good, schema=BENCH_SCHEMA_VERSION + 1)
+    assert any("schema" in p for p in validate_bench_payload(bad_schema))
+    missing_field = json.loads(json.dumps(good))
+    del missing_field["current"]["cells"]["m|e"]["segments"]
+    assert any("segments" in p
+               for p in validate_bench_payload(missing_field))
+    zero_wall = json.loads(json.dumps(good))
+    zero_wall["current"]["cells"]["m|e"]["wall_time"] = 0
+    assert any("wall_time" in p for p in validate_bench_payload(zero_wall))
+
+
+@pytest.mark.slow
+def test_run_benchmark_writes_and_preserves_baseline(tmp_path):
+    out = tmp_path / "bench.json"
+    first = run_benchmark(str(out), quick=True, log=lambda line: None)
+    assert validate_bench_payload(first) == []
+    assert out.exists()
+    # A second run must keep the first run's baseline verbatim and
+    # report a speedup for every cell that has a baseline wall time.
+    second = run_benchmark(str(out), quick=True, log=lambda line: None)
+    assert second["baseline"]["cells"] == first["baseline"]["cells"]
+    on_disk = json.loads(out.read_text())
+    assert validate_bench_payload(on_disk) == []
+    for entry in on_disk["current"]["cells"].values():
+        assert "speedup_vs_baseline" in entry
+
+
+def test_committed_bench_file_is_valid():
+    bench = pathlib.Path(__file__).parents[2] / "BENCH_simnet.json"
+    payload = json.loads(bench.read_text())
+    problems = validate_bench_payload(payload)
+    assert problems == []
+    # The PR-2 acceptance bar, recorded in the committed artifact.
+    cell = payload["current"]["cells"]["HTTP/1.1 Pipelined|WAN"]
+    assert cell["speedup_vs_baseline"] >= 2.0

@@ -1,0 +1,49 @@
+"""Golden-trace regression tests for the simulator hot-path rewrite.
+
+The engine/TCP/trace optimization is only acceptable if it is
+*behaviour-preserving at the packet level*: the fixtures under
+``fixtures/`` were captured with the pre-optimization engine (WAN,
+Apache, seed 0, first-time) and every line — timestamps, flags,
+sequence numbers, lengths — must still match byte for byte.  Any
+intentional protocol change must re-capture them (see the module
+docstring in ``repro.simnet.engine`` before doing so).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.runner import run_experiment
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+GOLDEN_CELLS = [
+    ("HTTP/1.0", "golden_http10-4conn_wan.trace"),
+    ("HTTP/1.1", "golden_persistent_wan.trace"),
+    ("HTTP/1.1 Pipelined", "golden_pipelined_wan.trace"),
+    ("HTTP/1.1 Pipelined w. compression", "golden_pipelined-deflate_wan.trace"),
+]
+
+
+@pytest.mark.parametrize("mode,fixture", GOLDEN_CELLS,
+                         ids=[fixture for _, fixture in GOLDEN_CELLS])
+def test_trace_matches_golden_fixture(mode, fixture):
+    result = run_experiment(mode, "first-time", environment="WAN",
+                            profile="Apache", seed=0, keep_trace=True)
+    expected = (FIXTURES / fixture).read_text()
+    actual = result.trace_lines + "\n"
+    if actual != expected:
+        expected_lines = expected.splitlines()
+        actual_lines = actual.splitlines()
+        for i, (want, got) in enumerate(zip(expected_lines, actual_lines)):
+            assert got == want, (
+                f"{fixture}: first divergence at line {i + 1}:\n"
+                f"  expected: {want}\n  actual:   {got}")
+        pytest.fail(f"{fixture}: line count changed "
+                    f"({len(expected_lines)} -> {len(actual_lines)})")
+
+
+def test_keep_trace_off_by_default():
+    result = run_experiment("HTTP/1.1", "first-time", environment="WAN",
+                            profile="Apache", seed=0)
+    assert result.trace_lines is None
