@@ -9,6 +9,11 @@ set -eu
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
 
+# Static determinism lint + golden-trace sanitization run in every
+# mode, FAST included: they are cheap and guard the properties (bit
+# reproducibility, TCP invariants) everything else rests on.
+sh scripts/lint.sh
+
 if [ "${FAST:-0}" = "1" ]; then
     python -m pytest -x -q -m "not slow"
 else
@@ -21,10 +26,15 @@ SMOKE_CACHE=".repro-cache/check-smoke"
 rm -rf "$SMOKE_CACHE"
 python -m repro report --runs 1 --jobs 2 --cache \
     --cache-dir "$SMOKE_CACHE" > /dev/null
-# A second pass must be pure cache hits (zero simulation runs).
+# A second pass must be pure cache hits (zero simulation runs).  The
+# runner stats land on stderr; capture both streams explicitly rather
+# than relying on redirection order tricks (`2>&1 >/dev/null |` pipes
+# only stderr, which reads as a typo for the common swap-and-discard
+# idiom and silently greps nothing if the stats ever move to stdout).
+SMOKE_OUT="$SMOKE_CACHE/second-pass.out"
 python -m repro report --runs 1 --jobs 2 --cache \
-    --cache-dir "$SMOKE_CACHE" 2>&1 > /dev/null \
-    | grep " 0 simulated" \
+    --cache-dir "$SMOKE_CACHE" > "$SMOKE_OUT" 2>&1
+grep -q " 0 simulated" "$SMOKE_OUT" \
     || { echo "check.sh: cached report re-ran simulations" >&2; exit 1; }
 rm -rf "$SMOKE_CACHE"
 

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Determinism lint over the source tree, then the TCP protocol
+# sanitizer over the golden WAN trace fixtures.  Exit 0 means the tree
+# is determinism-clean and every golden trace satisfies the paper's TCP
+# invariants (handshake order, sequence monotonicity, Nagle,
+# delayed-ACK deadlines, independent half-close).
+#
+#   scripts/lint.sh                 # src/repro + golden fixtures
+#   scripts/lint.sh path/to/code    # lint other paths instead
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+python -m repro lint --sanitize-traces -- "$@"

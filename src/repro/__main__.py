@@ -20,6 +20,10 @@ Commands
     Time one representative cell per (mode, environment) pair and write
     ``BENCH_simnet.json`` (see DESIGN.md, "Engine internals and
     performance").
+``lint``
+    Run the determinism linter over the source tree and (with
+    ``--sanitize-traces``) replay captured traces through the TCP
+    protocol sanitizer.
 
 ``table``, ``modem`` and ``report`` accept ``--jobs N`` (parallel
 worker processes), ``--cache`` (reuse results from ``.repro-cache/``)
@@ -229,6 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--runs", type=int, default=5)
     _add_matrix_flags(report)
     report.set_defaults(fn=_cmd_report)
+
+    from .lint.cli import add_lint_parser
+    add_lint_parser(sub)
     return parser
 
 

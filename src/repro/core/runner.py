@@ -172,6 +172,7 @@ def run_experiment(mode: Union[str, ProtocolMode],
                    explicit_flush: bool = True,
                    verify: bool = True,
                    keep_trace: bool = False,
+                   sanitize: bool = False,
                    max_sim_time: float = 1200.0) -> RunResult:
     """Run one (mode, scenario, environment, server) cell.
 
@@ -187,6 +188,10 @@ def run_experiment(mode: Union[str, ProtocolMode],
     a fresh store is built (the default site's store is memoized).
     ``keep_trace=True`` preserves the full tcpdump-style trace as
     :attr:`RunResult.trace_lines` (the golden-trace tests rely on it).
+    ``sanitize=True`` attaches a :class:`~repro.lint.LiveSanitizer` to
+    the link, raising :class:`~repro.lint.InvariantViolationError` the
+    moment any segment breaks a TCP invariant (handshake order,
+    sequence monotonicity, Nagle, delayed-ACK deadlines, half-close).
     """
     mode = resolve_mode(mode)
     scenario = resolve_scenario(scenario)
@@ -200,11 +205,22 @@ def run_experiment(mode: Union[str, ProtocolMode],
     # The server host ran Solaris 2.5, whose delayed-ACK timer is 50 ms
     # (the clients were BSD-derived 200 ms stacks).
     server_tcp = TcpConfig(mss=environment.mss, delack_delay=0.050)
+    config = client_config or mode.client_config(
+        flush_timeout=flush_timeout, explicit_flush=explicit_flush)
     net = TwoHostNetwork(environment, seed=seed, jitter=jitter,
                          server_config=server_tcp)
     server = SimHttpServer(net.sim, net.server, store, profile)
-    config = client_config or mode.client_config(
-        flush_timeout=flush_timeout, explicit_flush=explicit_flush)
+    sanitizer = None
+    if sanitize:
+        from ..lint import LiveSanitizer, SanitizerConfig
+        client_tcp = TcpConfig(mss=environment.mss)
+        sanitizer = LiveSanitizer(net.link, SanitizerConfig.for_run(
+            environment=environment,
+            client_nodelay=config.nodelay,
+            server_nodelay=profile.nodelay,
+            client_delack=client_tcp.delack_delay,
+            server_delack=server_tcp.delack_delay,
+            max_parallel=config.max_connections))
     cache = MemoryCache()
     if scenario == REVALIDATE:
         prefill_cache(cache, store, site, profile)
@@ -214,6 +230,8 @@ def run_experiment(mode: Union[str, ProtocolMode],
     result = robot.fetch(site.html_url, scenario, known_urls=known)
     net.run(until=max_sim_time)
     net.sim.run()   # drain any residual timers/ACKs past the deadline
+    if sanitizer is not None:
+        sanitizer.finish(net.sim.now)
     if not result.complete:
         raise ExperimentError(
             f"fetch did not complete: {len(result.responses)} responses, "

@@ -1,0 +1,54 @@
+"""repro.lint — determinism linter and TCP protocol sanitizer.
+
+Two layers of correctness checking for the reproduction:
+
+* **Static** (:mod:`repro.lint.static`, :mod:`repro.lint.rules`): an
+  AST pass over the source tree that flags constructs which silently
+  break bit-identical reproducibility — wall-clock reads, global RNG
+  use, OS entropy, salted-hash iteration order, exact float comparison
+  on simulated clocks, mutable default arguments, and missing
+  ``__slots__`` in per-packet hot-path modules.
+* **Runtime** (:mod:`repro.lint.sanitizer`): a TCP invariant checker
+  that replays captured traces (or observes a live simulation through a
+  link tap) and asserts the protocol behaviours the paper's results
+  depend on — handshake ordering, sequence monotonicity, no ACK of
+  unsent data, no payload after FIN, Nagle compliance, delayed-ACK
+  deadlines, and independent half-close teardown.
+
+Both layers surface through ``python -m repro lint``.
+"""
+
+from .config import ALL_RULES, DEFAULT_CONFIG, LintConfig
+from .findings import Finding, format_json, format_text
+from .sanitizer import (
+    InvariantViolationError,
+    LiveSanitizer,
+    SanitizerConfig,
+    TraceValidator,
+    Violation,
+    parse_trace_text,
+    validate_records,
+    validate_trace_text,
+)
+from .static import LintError, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "Finding",
+    "format_json",
+    "format_text",
+    "LintError",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "InvariantViolationError",
+    "LiveSanitizer",
+    "SanitizerConfig",
+    "TraceValidator",
+    "Violation",
+    "parse_trace_text",
+    "validate_records",
+    "validate_trace_text",
+]

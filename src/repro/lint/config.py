@@ -1,0 +1,88 @@
+"""Linter configuration: rule selection, allowlists, hot-path modules.
+
+Two suppression mechanisms exist, deliberately narrow:
+
+* **per-module allowlists** — a rule id mapped to path fragments; any
+  file whose (posix-normalized) path contains one of the fragments is
+  exempt from that rule.  This is for *designed* exemptions: the perf
+  harness and matrix runner read the real clock because measuring wall
+  time is their job.
+* **inline pragmas** — ``# repro-lint: allow(rule-id)`` on the offending
+  line (or the line directly above) waives named rules for that line
+  only, for the rare spot where the construct is deliberate.
+
+The ``slots-hot-path`` rule inverts the pattern: it applies *only* to
+designated hot-path modules (the per-packet / per-event object code in
+``simnet``), listed in :attr:`LintConfig.hot_path_modules`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Mapping, Sequence, Tuple
+
+__all__ = ["LintConfig", "DEFAULT_CONFIG", "ALL_RULES"]
+
+#: Every rule the linter knows, with a one-line description.
+ALL_RULES: Dict[str, str] = {
+    "wall-clock": "wall-clock read (time.time / datetime.now / ...) in "
+                  "simulation code",
+    "unseeded-random": "module-level random.* call or unseeded "
+                       "random.Random()",
+    "entropy-source": "OS entropy source (os.urandom / uuid4 / secrets)",
+    "set-iteration": "iteration over a set (or dict.keys()) whose order "
+                     "feeds deterministic output",
+    "float-clock-compare": "float == / != comparison on a simulated-"
+                           "clock value",
+    "mutable-default": "mutable default argument",
+    "slots-hot-path": "class without __slots__ in a designated hot-path "
+                      "module",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Configuration for one lint run."""
+
+    #: Rule ids to run (default: all known rules).
+    rules: FrozenSet[str] = frozenset(ALL_RULES)
+    #: rule id -> path fragments exempt from that rule.
+    allowlist: Mapping[str, Tuple[str, ...]] = dataclasses.field(
+        default_factory=dict)
+    #: Path fragments naming modules where ``slots-hot-path`` applies.
+    hot_path_modules: Tuple[str, ...] = ()
+
+    def with_hot_paths(self, extra: Sequence[str]) -> "LintConfig":
+        """A copy with additional hot-path module fragments."""
+        return dataclasses.replace(
+            self, hot_path_modules=self.hot_path_modules + tuple(extra))
+
+    def rule_allowed(self, rule: str, posix_path: str) -> bool:
+        """True when ``posix_path`` is allowlisted for ``rule``."""
+        return any(fragment in posix_path
+                   for fragment in self.allowlist.get(rule, ()))
+
+    def is_hot_path(self, posix_path: str) -> bool:
+        """True when the ``slots-hot-path`` rule applies to this file."""
+        return any(fragment in posix_path
+                   for fragment in self.hot_path_modules)
+
+
+#: The repository's own configuration: the perf harness and the matrix
+#: runner measure wall time by design; the per-packet/per-event object
+#: modules of the simulator are the designated ``__slots__`` hot path.
+DEFAULT_CONFIG = LintConfig(
+    allowlist={
+        # Wall-clock reads are these modules' purpose: they time real
+        # work (benchmark repetitions, per-cell wall time).  Everything
+        # else — including repro.realnet since its clock became
+        # injectable — must go through an injected clock or sim.now.
+        "wall-clock": ("repro/perf.py", "repro/matrix/runner.py"),
+    },
+    hot_path_modules=(
+        "simnet/engine.py",
+        "simnet/packet.py",
+        "simnet/tcp.py",
+        "simnet/trace.py",
+    ),
+)

@@ -1,0 +1,518 @@
+"""Runtime TCP protocol sanitizer: trace replay and online checking.
+
+The paper's hardest-won results are *implementation invariants* — the
+three-way handshake paid per HTTP/1.0 connection, Nagle's interaction
+with small writes, the 200 ms / 50 ms delayed-ACK heartbeats, and the
+independent half-close that keeps a pipelined exchange from ending in a
+RST.  The simulator implements all of them, but nothing *enforced* them:
+a TCP regression would only surface if it happened to perturb a golden
+WAN trace.  :class:`TraceValidator` closes that gap by replaying any
+captured trace (a :class:`~repro.simnet.trace.PacketRecord` list, raw
+``format_trace`` text, or live segments) through a per-flow state
+machine asserting:
+
+* **handshake ordering** — a flow starts SYN, SYN+ACK (acking exactly
+  the SYN), and carries no payload before the handshake completes;
+* **sequence monotonicity** — a direction never sends sequence space it
+  has not reached (retransmissions of old data are legal, gaps are not);
+* **no ACK of unsent data** — an acknowledgement never exceeds the
+  peer's highest transmitted sequence number;
+* **no payload after FIN** — once a direction's FIN is on the wire, no
+  new sequence space follows it;
+* **Nagle compliance** — on a Nagle-enabled direction, never two
+  outstanding (unacknowledged) sub-MSS segments;
+* **delayed-ACK deadlines** — data is acknowledged within the
+  configured heartbeat (200 ms client / 50 ms server) plus a transit
+  bound;
+* **independent half-close** — every established direction closes with
+  an acknowledged FIN, and no RST appears in a clean trace.
+
+The same state machine runs **online** via :class:`LiveSanitizer`, a
+link tap enabled with ``run_experiment(..., sanitize=True)`` — the
+engine's opt-in sanitizer mode — which raises
+:class:`InvariantViolationError` the moment a violating segment is
+emitted, with the simulated time and flow in the message.
+
+This module deliberately imports nothing from :mod:`repro.simnet`: it
+duck-types segments and links, so trace files can be validated without
+constructing a simulator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["SanitizerConfig", "Violation", "InvariantViolationError",
+           "TraceValidator", "LiveSanitizer", "parse_trace_text",
+           "validate_trace_text", "validate_records"]
+
+
+class InvariantViolationError(AssertionError):
+    """A TCP protocol invariant was violated (online sanitizer mode)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One invariant violation, locatable in the trace."""
+
+    time: float
+    flow: str
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"t={self.time:.6f} {self.flow}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SanitizerConfig:
+    """Invariant parameters for one validation run.
+
+    The defaults describe the repository's standard WAN cell — the one
+    the golden fixtures were captured from: BSD-style 200 ms client and
+    Solaris-style 50 ms server delayed-ACK heartbeats, ``TCP_NODELAY``
+    on both ends (the paper's recommendation, so the Nagle check is off
+    unless a direction is declared Nagle-enabled), and a transit bound
+    covering a full receive window queued behind a 1 Mbit/s bottleneck.
+    """
+
+    mss: int = 1460
+    #: Delayed-ACK heartbeat period of the flow initiator (client).
+    client_delack: float = 0.200
+    #: Delayed-ACK heartbeat period of the flow responder (server).
+    server_delack: float = 0.050
+    #: Check the Nagle invariant on client->server traffic.
+    nagle_client: bool = False
+    #: Check the Nagle invariant on server->client traffic.
+    nagle_server: bool = False
+    #: Upper bound on send->arrival transit (propagation + worst-case
+    #: serialization queueing) used by the delayed-ACK deadline check.
+    transit_bound: float = 0.75
+    #: Slack for float timestamps.
+    epsilon: float = 1e-6
+    #: Require every established direction to finish with an acked FIN.
+    require_teardown: bool = True
+    #: Treat any RST as a violation (clean-trace mode).
+    allow_rst: bool = False
+
+    @classmethod
+    def for_run(cls, *, environment: Any, client_nodelay: bool,
+                server_nodelay: bool, client_delack: float,
+                server_delack: float,
+                max_parallel: int = 1) -> "SanitizerConfig":
+        """Derive a config from a live experiment's parameters.
+
+        ``environment`` is a
+        :class:`~repro.simnet.link.NetworkEnvironment` (duck-typed).
+        The transit bound allows a full 64 KB receive window per
+        parallel connection to queue at the bottleneck ahead of a
+        segment, so shared-link queueing never trips the delayed-ACK
+        deadline check.
+        """
+        wire_time = (environment.mss + 40) * environment.bits_per_byte \
+            / environment.bandwidth_bps
+        window_segments = math.ceil(65535 / environment.mss) + 2
+        transit = (environment.one_way_delay
+                   + window_segments * max(1, max_parallel) * wire_time)
+        return cls(mss=environment.mss,
+                   client_delack=client_delack,
+                   server_delack=server_delack,
+                   nagle_client=not client_nodelay,
+                   nagle_server=not server_nodelay,
+                   transit_bound=1.10 * transit + 0.01)
+
+
+class _Direction:
+    """Sender-side state for one direction of one flow."""
+
+    __slots__ = ("snd_nxt", "snd_una", "syn_end", "fin_end", "fin_acked",
+                 "small_ends", "unacked", "sent_payload")
+
+    def __init__(self) -> None:
+        self.snd_nxt = 0          # highest sequence space transmitted
+        self.snd_una = 0          # highest ack received from the peer
+        self.syn_end: Optional[int] = None
+        self.fin_end: Optional[int] = None
+        self.fin_acked = False
+        #: End-sequences of transmitted sub-MSS payload segments.
+        self.small_ends: List[int] = []
+        #: (end_seq, send_time) of payload awaiting acknowledgement.
+        self.unacked: List[Tuple[int, float]] = []
+        self.sent_payload = False
+
+
+class _Flow:
+    """One bidirectional connection, keyed by its endpoint pair."""
+
+    __slots__ = ("initiator", "handshake", "directions", "aborted",
+                 "label")
+
+    def __init__(self, label: str) -> None:
+        #: (host, port) of the side that sent the first SYN.
+        self.initiator: Optional[Tuple[str, int]] = None
+        #: 0 = nothing, 1 = SYN seen, 2 = SYN+ACK seen (established).
+        self.handshake = 0
+        self.directions: Dict[Tuple[str, int], _Direction] = {}
+        self.aborted = False
+        self.label = label
+
+    def direction(self, endpoint: Tuple[str, int]) -> _Direction:
+        state = self.directions.get(endpoint)
+        if state is None:
+            state = self.directions[endpoint] = _Direction()
+        return state
+
+
+class TraceValidator:
+    """Replays segments through the paper's TCP invariants.
+
+    Feed segments in capture order through :meth:`observe` (or the
+    :meth:`observe_segment` adapter for live
+    :class:`~repro.simnet.packet.Segment` objects), then call
+    :meth:`finalize` for the end-of-trace teardown checks.  Violations
+    accumulate in :attr:`violations`.
+    """
+
+    def __init__(self,
+                 config: Optional[SanitizerConfig] = None) -> None:
+        self.config = config or SanitizerConfig()
+        self.violations: List[Violation] = []
+        self._flows: Dict[Tuple[Tuple[str, int], Tuple[str, int]],
+                          _Flow] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    def _flow_for(self, src: Tuple[str, int],
+                  dst: Tuple[str, int]) -> _Flow:
+        key = (src, dst) if src <= dst else (dst, src)
+        flow = self._flows.get(key)
+        if flow is None:
+            label = (f"{key[0][0]}:{key[0][1]}<->"
+                     f"{key[1][0]}:{key[1][1]}")
+            flow = self._flows[key] = _Flow(label)
+        return flow
+
+    def _report(self, time: float, flow: _Flow, rule: str,
+                message: str) -> None:
+        self.violations.append(Violation(time=time, flow=flow.label,
+                                         rule=rule, message=message))
+
+    def _delack_period(self, flow: _Flow,
+                       acker: Tuple[str, int]) -> float:
+        if flow.initiator is not None and acker == flow.initiator:
+            return self.config.client_delack
+        return self.config.server_delack
+
+    def _nagle_enabled(self, flow: _Flow,
+                       sender: Tuple[str, int]) -> bool:
+        if flow.initiator is None:
+            return False
+        if sender == flow.initiator:
+            return self.config.nagle_client
+        return self.config.nagle_server
+
+    # ------------------------------------------------------------------
+    def observe(self, time: float, src: str, sport: int, dst: str,
+                dport: int, *, syn: bool, fin: bool, rst: bool,
+                ack_flag: bool, seq: int, ack: int,
+                payload_len: int) -> List[Violation]:
+        """Process one captured segment; returns new violations."""
+        before = len(self.violations)
+        sender = (src, sport)
+        receiver = (dst, dport)
+        flow = self._flow_for(sender, receiver)
+        if flow.aborted:
+            return []
+        d = flow.direction(sender)
+        r = flow.direction(receiver)
+
+        if rst:
+            if not self.config.allow_rst:
+                self._report(time, flow, "rst",
+                             "RST in a clean trace (naive close or "
+                             "reset connection)")
+            flow.aborted = True
+            return self.violations[before:]
+
+        # -- handshake ordering ----------------------------------------
+        if flow.handshake == 0:
+            if syn and not ack_flag:
+                flow.initiator = sender
+                flow.handshake = 1
+            else:
+                self._report(time, flow, "handshake-order",
+                             "flow does not start with a bare SYN")
+                flow.handshake = 2      # avoid cascading reports
+        elif flow.handshake == 1:
+            if sender == flow.initiator:
+                if not (syn and not ack_flag and seq == 0):
+                    self._report(time, flow, "handshake-order",
+                                 "initiator sent non-SYN before the "
+                                 "SYN+ACK")
+            elif syn and ack_flag:
+                expected = flow.direction(flow.initiator).syn_end or 1
+                if ack != expected:
+                    self._report(time, flow, "handshake-order",
+                                 f"SYN+ACK acknowledges {ack}, "
+                                 f"expected {expected}")
+                flow.handshake = 2
+            else:
+                self._report(time, flow, "handshake-order",
+                             "responder sent non-SYN+ACK before the "
+                             "handshake completed")
+                flow.handshake = 2
+        if payload_len and flow.handshake < 2:
+            self._report(time, flow, "handshake-order",
+                         "payload before the handshake completed")
+
+        # -- sequence space --------------------------------------------
+        end = seq + payload_len + (1 if syn else 0) + (1 if fin else 0)
+        if seq > d.snd_nxt:
+            self._report(time, flow, "seq-monotonic",
+                         f"sequence gap: seq={seq} beyond snd_nxt="
+                         f"{d.snd_nxt}")
+        is_retransmission = end <= d.snd_nxt and (payload_len or syn
+                                                  or fin)
+        if syn and d.syn_end is None:
+            d.syn_end = end
+
+        # -- payload / FIN discipline ----------------------------------
+        if d.fin_end is not None and end > d.fin_end:
+            self._report(time, flow, "payload-after-fin",
+                         f"sequence space {end} beyond the FIN at "
+                         f"{d.fin_end}")
+        if fin:
+            if d.fin_end is None:
+                d.fin_end = end
+            elif end != d.fin_end:
+                self._report(time, flow, "payload-after-fin",
+                             f"FIN moved from {d.fin_end} to {end}")
+
+        # -- Nagle: never two outstanding small segments ----------------
+        if payload_len and not is_retransmission \
+                and self._nagle_enabled(flow, sender):
+            outstanding = [e for e in d.small_ends if e > d.snd_una]
+            if payload_len < self.config.mss:
+                # Full-sized segments may always go; a second sub-MSS
+                # segment while one is unacknowledged is the violation.
+                if outstanding:
+                    self._report(
+                        time, flow, "nagle",
+                        f"small segment (len={payload_len}) sent while "
+                        f"a small segment is outstanding (Nagle "
+                        f"violation)")
+                outstanding.append(end)
+            d.small_ends = outstanding
+
+        # -- bookkeeping for the delayed-ACK deadline check -------------
+        if payload_len and end > d.snd_nxt:
+            d.unacked.append((end, time))
+            d.sent_payload = True
+        d.snd_nxt = max(d.snd_nxt, end)
+
+        # -- acknowledgement checks ------------------------------------
+        if ack_flag:
+            if ack > r.snd_nxt:
+                self._report(time, flow, "ack-unsent",
+                             f"ack={ack} acknowledges unsent data "
+                             f"(peer snd_nxt={r.snd_nxt})")
+            if ack > r.snd_una:
+                r.snd_una = ack
+                budget = (self.config.transit_bound
+                          + self._delack_period(flow, sender)
+                          + self.config.epsilon)
+                remaining = []
+                for end_seq, sent_at in r.unacked:
+                    if end_seq <= ack:
+                        if time - sent_at > budget:
+                            self._report(
+                                time, flow, "delayed-ack",
+                                f"data sent at t={sent_at:.6f} acked "
+                                f"after {time - sent_at:.3f}s (budget "
+                                f"{budget:.3f}s)")
+                    else:
+                        remaining.append((end_seq, sent_at))
+                r.unacked = remaining
+                if r.fin_end is not None and ack >= r.fin_end:
+                    r.fin_acked = True
+        return self.violations[before:]
+
+    def observe_segment(self, segment: Any,
+                        now: float) -> List[Violation]:
+        """Adapter for live :class:`~repro.simnet.packet.Segment`
+        objects (the :class:`~repro.simnet.link.Link` tap signature)."""
+        return self.observe(
+            now, segment.src, segment.sport, segment.dst, segment.dport,
+            syn=segment.flag_syn, fin=segment.flag_fin,
+            rst=segment.flag_rst, ack_flag=segment.flag_ack,
+            seq=segment.seq, ack=segment.ack,
+            payload_len=segment.payload_len)
+
+    def observe_record(self, record: Any) -> List[Violation]:
+        """Adapter for :class:`~repro.simnet.trace.PacketRecord`-style
+        objects (``flags`` is the tcpdump string, e.g. ``'PA'``)."""
+        flags = record.flags
+        return self.observe(
+            record.time, record.src, record.sport, record.dst,
+            record.dport, syn="S" in flags, fin="F" in flags,
+            rst="R" in flags, ack_flag="A" in flags, seq=record.seq,
+            ack=record.ack, payload_len=record.payload_len)
+
+    # ------------------------------------------------------------------
+    def finalize(self, at_time: Optional[float] = None) -> List[Violation]:
+        """End-of-trace checks; returns the new violations."""
+        if self._finalized:
+            return []
+        self._finalized = True
+        before = len(self.violations)
+        end_time = at_time if at_time is not None else 0.0
+        for flow in self._flows.values():
+            if flow.aborted:
+                continue
+            if flow.handshake < 2:
+                if any(d.sent_payload
+                       for d in flow.directions.values()):
+                    self._report(end_time, flow, "handshake-order",
+                                 "payload on a flow whose handshake "
+                                 "never completed")
+                continue
+            for endpoint, d in sorted(flow.directions.items()):
+                if d.unacked:
+                    end_seq, sent_at = d.unacked[0]
+                    self._report(end_time, flow, "delayed-ack",
+                                 f"data sent at t={sent_at:.6f} "
+                                 "(end_seq="
+                                 f"{end_seq}) was never acknowledged")
+                if not self.config.require_teardown:
+                    continue
+                who = f"{endpoint[0]}:{endpoint[1]}"
+                if d.fin_end is None:
+                    self._report(end_time, flow, "half-close",
+                                 f"{who} never closed its send side "
+                                 "(no FIN)")
+                elif not d.fin_acked:
+                    self._report(end_time, flow, "half-close",
+                                 f"{who}'s FIN was never acknowledged")
+        return self.violations[before:]
+
+
+class LiveSanitizer:
+    """Online sanitizer mode: validate segments as they are emitted.
+
+    Installs a tap on a :class:`~repro.simnet.link.Link` (duck-typed:
+    anything with a ``taps`` list called as ``tap(segment, now)``).
+    With ``raise_immediately`` (the default) the first violating
+    segment raises :class:`InvariantViolationError` from inside the
+    simulation, so the failure points at the exact simulated moment;
+    otherwise violations accumulate for inspection.
+
+    Call :meth:`finish` after the simulation quiesces to run the
+    teardown checks.
+    """
+
+    def __init__(self, link: Any,
+                 config: Optional[SanitizerConfig] = None, *,
+                 raise_immediately: bool = True) -> None:
+        self.validator = TraceValidator(config)
+        self.raise_immediately = raise_immediately
+        self._last_time = 0.0
+        link.taps.append(self._tap)
+
+    @property
+    def violations(self) -> List[Violation]:
+        return self.validator.violations
+
+    def _tap(self, segment: Any, now: float) -> None:
+        self._last_time = now
+        fresh = self.validator.observe_segment(segment, now)
+        if fresh and self.raise_immediately:
+            raise InvariantViolationError(fresh[0].format())
+
+    def finish(self,
+               at_time: Optional[float] = None) -> List[Violation]:
+        """Run teardown checks; raises when violations were found.
+
+        ``at_time`` overrides the timestamp of the last observed
+        segment as the end-of-run clock (pass ``sim.now`` after the
+        event loop drains).
+        """
+        end = at_time if at_time is not None else self._last_time
+        self.validator.finalize(at_time=end)
+        if self.violations and self.raise_immediately:
+            raise InvariantViolationError(
+                "; ".join(v.format() for v in self.violations[:5]))
+        return self.violations
+
+
+# ----------------------------------------------------------------------
+# Offline trace parsing (the ``format_trace`` / golden-fixture format)
+# ----------------------------------------------------------------------
+
+#: One line of ``TraceCollector.format_trace`` output, e.g.::
+#:
+#:     0.090648 zorch.w3.org:32768 > www26.w3.org:80 [PA] seq=1 ack=1 len=97
+_TRACE_LINE = re.compile(
+    r"^\s*(?P<time>[0-9.]+)\s+"
+    r"(?P<src>\S+):(?P<sport>\d+)\s+>\s+"
+    r"(?P<dst>\S+):(?P<dport>\d+)\s+"
+    r"\[(?P<flags>[SFRPA.]+)\]\s+"
+    r"seq=(?P<seq>\d+)\s+ack=(?P<ack>\d+)\s+len=(?P<len>\d+)\s*$")
+
+
+@dataclasses.dataclass(frozen=True)
+class _ParsedRecord:
+    time: float
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    flags: str
+    seq: int
+    ack: int
+    payload_len: int
+
+
+def parse_trace_text(text: str) -> List[_ParsedRecord]:
+    """Parse ``format_trace`` output / golden fixture text."""
+    records = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        match = _TRACE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: not a trace line: "
+                             f"{line!r}")
+        records.append(_ParsedRecord(
+            time=float(match.group("time")),
+            src=match.group("src"), sport=int(match.group("sport")),
+            dst=match.group("dst"), dport=int(match.group("dport")),
+            flags=match.group("flags"),
+            seq=int(match.group("seq")), ack=int(match.group("ack")),
+            payload_len=int(match.group("len"))))
+    return records
+
+
+def validate_records(records: Iterable[Any],
+                     config: Optional[SanitizerConfig] = None
+                     ) -> List[Violation]:
+    """Validate a sequence of packet records (parsed or collected)."""
+    validator = TraceValidator(config)
+    last_time = 0.0
+    for record in records:
+        validator.observe_record(record)
+        last_time = record.time
+    validator.finalize(at_time=last_time)
+    return validator.violations
+
+
+def validate_trace_text(text: str,
+                        config: Optional[SanitizerConfig] = None
+                        ) -> List[Violation]:
+    """Validate raw trace text (a golden fixture file's contents)."""
+    return validate_records(parse_trace_text(text), config)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from ..http import (HTTP11, ParseError, RequestParser, Response,
                     format_http_date)
@@ -43,9 +43,13 @@ class RealHttpServer:
 
     def __init__(self, store: ResourceStore,
                  profile: ServerProfile = APACHE,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0,
+                 clock: Callable[[], float] = time.time) -> None:
         self.store = store
         self.profile = profile
+        #: Source of Date-header timestamps; inject a fake for
+        #: deterministic tests.
+        self.clock = clock
         self._listen_address = (host, port)
         self._socket: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -146,7 +150,7 @@ class RealHttpServer:
                     requests_seen += 1
                     response = build_response(
                         self.store, request, self.profile,
-                        date_header=format_http_date(time.time()))
+                        date_header=format_http_date(self.clock()))
                     limit = self.profile.max_requests_per_connection
                     at_limit = (limit is not None
                                 and requests_seen >= limit)

@@ -95,6 +95,9 @@ class Simulator:
         simulator's lifetime (events fired, heap high-water mark, …).
     """
 
+    __slots__ = ("now", "perf", "_heap", "_seq", "_live", "_dead",
+                 "_running", "_stopped")
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self.perf = PerfCounters()

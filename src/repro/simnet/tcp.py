@@ -195,6 +195,26 @@ class TcpConnection:
     in :attr:`state` and is observable by tests.
     """
 
+    __slots__ = (
+        "stack", "sim", "local_host", "local_port", "peer", "peer_port",
+        "config", "state",
+        "snd_una", "snd_nxt", "_send_queue", "_fin_queued", "_fin_sent",
+        "_syn_acked",
+        "rcv_nxt", "_fin_received", "_receive_shutdown", "_reassembly",
+        "_paused", "_recv_buffer", "_recv_buffered_bytes", "_pending_eof",
+        "_peer_window", "_persist_timer", "_persist_interval",
+        "cwnd", "ssthresh",
+        "_retransmit_queue", "_rto_timer", "_srtt", "_rttvar",
+        "_rto_backoff", "_dup_acks", "_rtt_sample", "_in_recovery",
+        "_recovery_point", "retransmissions", "timeouts",
+        "fast_retransmits",
+        "_segments_unacked", "_delack_timer",
+        "nodelay",
+        "bytes_sent", "bytes_received", "segments_sent",
+        "segments_received",
+        "on_connect", "on_data", "on_eof", "on_reset", "on_closed",
+    )
+
     def __init__(self, stack: "TcpStack", local_port: int, peer: str,
                  peer_port: int, config: TcpConfig) -> None:
         self.stack = stack
@@ -818,6 +838,8 @@ class TcpListener:
     request segment.
     """
 
+    __slots__ = ("stack", "port", "on_accept", "accepted")
+
     def __init__(self, stack: "TcpStack", port: int,
                  on_accept: Callable[[TcpConnection], None]) -> None:
         self.stack = stack
@@ -832,6 +854,9 @@ class TcpListener:
 
 class TcpStack:
     """Per-host TCP: port allocation, demultiplexing, connection table."""
+
+    __slots__ = ("sim", "host", "link", "config", "_connections",
+                 "_listeners", "_next_ephemeral", "total_connections")
 
     EPHEMERAL_BASE = 32768
 

@@ -101,6 +101,11 @@ class TraceCollector:
         way the paper's client-side traces do.
     """
 
+    __slots__ = ("client_host", "_sim", "_times", "_srcs", "_sports",
+                 "_dsts", "_dports", "_flags", "_seqs", "_acks",
+                 "_payload_lens", "_wire_sizes", "_payload_total",
+                 "_records_cache")
+
     def __init__(self, link: Link, client_host: str) -> None:
         self.client_host = client_host
         self._sim = link.sim

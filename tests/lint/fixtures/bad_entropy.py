@@ -1,0 +1,7 @@
+"""Fixture: draws OS entropy."""
+
+import os
+
+
+def nonce():
+    return os.urandom(8)

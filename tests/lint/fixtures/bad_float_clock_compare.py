@@ -1,0 +1,5 @@
+"""Fixture: exact float equality on a simulated-clock value."""
+
+
+def timer_due(sim, deadline):
+    return sim.now == deadline

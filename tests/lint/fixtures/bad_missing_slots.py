@@ -1,0 +1,8 @@
+"""Fixture: hot-path class without __slots__ (lint with this file's
+name added to the hot-path list, e.g. ``--hot-path bad_missing_slots``).
+"""
+
+
+class PerPacketState:
+    def __init__(self, seq):
+        self.seq = seq

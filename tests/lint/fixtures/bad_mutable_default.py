@@ -1,0 +1,6 @@
+"""Fixture: mutable default argument shared across calls."""
+
+
+def record(event, log=[]):
+    log.append(event)
+    return log

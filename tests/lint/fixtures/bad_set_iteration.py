@@ -1,0 +1,6 @@
+"""Fixture: iterates a set, feeding salted hash order downstream."""
+
+
+def hosts_in_order(hosts):
+    for host in set(hosts):
+        yield host

@@ -1,0 +1,7 @@
+"""Fixture: draws from the interpreter-global RNG."""
+
+import random
+
+
+def jitter():
+    return random.random()

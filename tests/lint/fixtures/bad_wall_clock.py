@@ -1,0 +1,7 @@
+"""Fixture: reads the host clock inside simulation code."""
+
+import time
+
+
+def timestamp():
+    return time.time()

@@ -1,0 +1,82 @@
+"""The ``python -m repro lint`` verb: exit codes, JSON, trace mode."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+GOLDEN_DIR = REPO / "tests" / "simnet" / "fixtures"
+
+
+def test_lint_src_exits_clean(capsys):
+    assert main(["lint", str(REPO / "src" / "repro")]) == 0
+    assert "clean" in capsys.readouterr().err
+
+
+def test_lint_fixture_corpus_exits_dirty(capsys):
+    code = main(["lint", str(FIXTURES)])
+    assert code == 1
+    out = capsys.readouterr().out
+    for rule in ("wall-clock", "unseeded-random", "entropy-source",
+                 "set-iteration", "float-clock-compare",
+                 "mutable-default"):
+        assert f"[{rule}]" in out
+
+
+def test_hot_path_flag_activates_slots_rule(capsys):
+    target = str(FIXTURES / "bad_missing_slots.py")
+    assert main(["lint", target]) == 0
+    assert main(["lint", "--hot-path", "bad_missing_slots",
+                 target]) == 1
+    assert "[slots-hot-path]" in capsys.readouterr().out
+
+
+def test_json_output_structure(capsys):
+    code = main(["lint", "--json", str(FIXTURES / "bad_wall_clock.py")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["finding_count"] == 1
+    assert payload["findings"][0]["rule"] == "wall-clock"
+    assert payload["traces"] == {}
+
+
+def test_sanitize_traces_golden(capsys):
+    traces = sorted(GOLDEN_DIR.glob("*.trace"))
+    code = main(["lint", str(REPO / "src" / "repro"),
+                 "--sanitize-traces"] + [str(t) for t in traces])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count(": clean") == len(traces)
+
+
+def test_sanitize_traces_rejects_corrupt(tmp_path, capsys):
+    golden = sorted(GOLDEN_DIR.glob("*.trace"))[0]
+    lines = golden.read_text(encoding="utf-8").strip().splitlines()
+    lines[0], lines[1] = lines[1], lines[0]
+    corrupt = tmp_path / "corrupt.trace"
+    corrupt.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    code = main(["lint", str(REPO / "src" / "repro"),
+                 "--json", "--sanitize-traces", str(corrupt)])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violation_count"] > 0
+    rules = {v["rule"] for v in payload["traces"][str(corrupt)]}
+    assert "handshake-order" in rules
+
+
+def test_missing_lint_path_is_usage_error(capsys):
+    assert main(["lint", "no/such/dir_xyz"]) == 2
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_unparsable_trace_is_usage_error(tmp_path, capsys):
+    bogus = tmp_path / "bogus.trace"
+    bogus.write_text("garbage\n", encoding="utf-8")
+    code = main(["lint", str(REPO / "src" / "repro"),
+                 "--sanitize-traces", str(bogus)])
+    assert code == 2

@@ -1,0 +1,201 @@
+"""The TCP protocol sanitizer: golden traces, mutations, live mode."""
+
+import pathlib
+
+import pytest
+
+from repro.core import run_experiment
+from repro.lint import (InvariantViolationError, LiveSanitizer,
+                        SanitizerConfig, TraceValidator,
+                        parse_trace_text, validate_records,
+                        validate_trace_text)
+from repro.server.profiles import NAGLE_STALL_SERVER
+
+GOLDEN_DIR = (pathlib.Path(__file__).resolve().parents[1]
+              / "simnet" / "fixtures")
+GOLDEN_TRACES = sorted(GOLDEN_DIR.glob("*.trace"))
+
+
+# ----------------------------------------------------------------------
+# Golden traces replay clean
+# ----------------------------------------------------------------------
+def test_four_golden_fixtures_exist():
+    assert len(GOLDEN_TRACES) == 4
+
+
+@pytest.mark.parametrize("trace", GOLDEN_TRACES,
+                         ids=lambda p: p.stem)
+def test_golden_trace_validates_clean(trace):
+    text = trace.read_text(encoding="utf-8")
+    violations = validate_trace_text(text, SanitizerConfig())
+    assert violations == []
+
+
+def test_parse_trace_round_trip():
+    text = GOLDEN_TRACES[0].read_text(encoding="utf-8")
+    records = parse_trace_text(text)
+    assert len(records) == len(text.strip().splitlines())
+    assert validate_records(records, SanitizerConfig()) == []
+
+
+# ----------------------------------------------------------------------
+# Mutated traces are rejected
+# ----------------------------------------------------------------------
+def _golden_lines():
+    return GOLDEN_TRACES[0].read_text(encoding="utf-8") \
+        .strip().splitlines()
+
+
+def _rules_for(lines):
+    violations = validate_trace_text("\n".join(lines) + "\n",
+                                     SanitizerConfig())
+    return {v.rule for v in violations}
+
+
+def test_reordered_handshake_rejected():
+    lines = _golden_lines()
+    lines[0], lines[1] = lines[1], lines[0]
+    assert "handshake-order" in _rules_for(lines)
+
+
+def test_payload_after_fin_rejected():
+    lines = _golden_lines()
+    # Fabricate a server data segment beyond its FIN.
+    lines.append("  5.000000 www26.w3.org:80 > zorch.w3.org:32768 "
+                 "[PA] seq=999999 ack=1 len=512")
+    assert "payload-after-fin" in _rules_for(lines)
+
+
+def test_ack_of_unsent_data_rejected():
+    lines = _golden_lines()
+    parts = lines[2]
+    assert "ack=" in parts
+    import re
+    lines[2] = re.sub(r"ack=\d+", "ack=99999999", parts)
+    assert "ack-unsent" in _rules_for(lines)
+
+
+def test_sequence_gap_rejected():
+    lines = _golden_lines()
+    import re
+    # Jump a data segment's sequence far beyond anything transmitted.
+    for index, line in enumerate(lines):
+        if "len=0" not in line and "[P" in line:
+            lines[index] = re.sub(r"seq=\d+", "seq=77777777", line)
+            break
+    assert "seq-monotonic" in _rules_for(lines)
+
+
+def test_truncated_teardown_rejected():
+    lines = _golden_lines()
+    # Drop the final exchange: FINs go unacknowledged / unsent.
+    assert "half-close" in _rules_for(lines[:-6])
+
+
+def test_rst_rejected_in_clean_mode():
+    lines = _golden_lines()
+    lines.append("  5.000000 zorch.w3.org:32768 > www26.w3.org:80 "
+                 "[R] seq=1 ack=0 len=0")
+    assert "rst" in _rules_for(lines)
+
+
+def test_malformed_trace_line_raises():
+    with pytest.raises(ValueError):
+        parse_trace_text("not a trace line at all\n")
+
+
+# ----------------------------------------------------------------------
+# Nagle invariant
+# ----------------------------------------------------------------------
+def _segment(time, seq, length, ack=1):
+    return (time, "a", 1, "b", 2,
+            dict(syn=False, fin=False, rst=False, ack_flag=True,
+                 seq=seq, ack=ack, payload_len=length))
+
+
+def test_two_outstanding_smalls_flagged_when_nagle_enabled():
+    config = SanitizerConfig(nagle_client=True, require_teardown=False)
+    validator = TraceValidator(config)
+    # Handshake.
+    validator.observe(0.0, "a", 1, "b", 2, syn=True, fin=False,
+                      rst=False, ack_flag=False, seq=0, ack=0,
+                      payload_len=0)
+    validator.observe(0.1, "b", 2, "a", 1, syn=True, fin=False,
+                      rst=False, ack_flag=True, seq=0, ack=1,
+                      payload_len=0)
+    validator.observe(0.2, "a", 1, "b", 2, syn=False, fin=False,
+                      rst=False, ack_flag=True, seq=1, ack=1,
+                      payload_len=0)
+    # Two back-to-back sub-MSS segments with nothing acked between.
+    time, src, sport, dst, dport, kw = _segment(0.3, 1, 100)
+    validator.observe(time, src, sport, dst, dport, **kw)
+    time, src, sport, dst, dport, kw = _segment(0.31, 101, 100)
+    new = validator.observe(time, src, sport, dst, dport, **kw)
+    assert any(v.rule == "nagle" for v in new)
+
+
+def test_full_sized_segments_never_trip_nagle():
+    config = SanitizerConfig(nagle_client=True, require_teardown=False)
+    validator = TraceValidator(config)
+    validator.observe(0.0, "a", 1, "b", 2, syn=True, fin=False,
+                      rst=False, ack_flag=False, seq=0, ack=0,
+                      payload_len=0)
+    validator.observe(0.1, "b", 2, "a", 1, syn=True, fin=False,
+                      rst=False, ack_flag=True, seq=0, ack=1,
+                      payload_len=0)
+    mss = config.mss
+    seq = 1
+    for step in range(3):
+        time, src, sport, dst, dport, kw = _segment(
+            0.2 + step / 100.0, seq, mss)
+        validator.observe(time, src, sport, dst, dport, **kw)
+        seq += mss
+    assert not any(v.rule == "nagle" for v in validator.violations)
+
+
+# ----------------------------------------------------------------------
+# Live sanitizer mode
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("mode", ["http/1.0", "http/1.1", "pipelined",
+                                  "compressed"])
+def test_live_sanitizer_passes_golden_cells(mode):
+    result = run_experiment(mode, "first-time", environment="WAN",
+                            profile="Apache", seed=0, sanitize=True)
+    assert result.packets > 0
+
+
+def test_live_sanitizer_passes_nagle_enabled_server():
+    """With Nagle on (server side), the online Nagle check is active
+    and the simulator's implementation satisfies it."""
+    result = run_experiment("http/1.1", "first-time", environment="WAN",
+                            profile=NAGLE_STALL_SERVER, seed=0,
+                            sanitize=True)
+    assert result.packets > 0
+
+
+def test_live_sanitizer_raises_on_bad_segment():
+    """Inject a forged segment into a live run: the tap must raise."""
+    from repro.simnet.link import WAN
+    from repro.simnet.network import TwoHostNetwork
+    from repro.simnet.packet import Segment
+
+    net = TwoHostNetwork(WAN, seed=0)
+    sanitizer = LiveSanitizer(net.link, SanitizerConfig())
+    # A payload segment on a flow that never shook hands.
+    forged = Segment(src="zorch.w3.org", sport=40000,
+                     dst="www26.w3.org", dport=80, seq=1, ack=0,
+                     payload=b"x" * 100, flag_ack=True)
+    with pytest.raises(InvariantViolationError):
+        sanitizer._tap(forged, 0.5)
+
+
+def test_validator_reports_structured_violations():
+    text = GOLDEN_TRACES[0].read_text(encoding="utf-8")
+    lines = text.strip().splitlines()
+    lines[0], lines[1] = lines[1], lines[0]
+    violations = validate_trace_text("\n".join(lines) + "\n",
+                                     SanitizerConfig())
+    assert violations
+    payload = violations[0].to_dict()
+    assert {"time", "flow", "rule", "message"} <= set(payload)
+    assert "[" in violations[0].format()

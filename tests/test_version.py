@@ -1,0 +1,16 @@
+"""The packaging metadata and the library must agree on the version."""
+
+import pathlib
+import re
+
+import repro
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_pyproject_version_matches_package():
+    pyproject = (_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    match = re.search(r'^version\s*=\s*"([^"]+)"', pyproject,
+                      flags=re.MULTILINE)
+    assert match is not None, "no version field in pyproject.toml"
+    assert match.group(1) == repro.__version__
