@@ -38,6 +38,14 @@ grep -q " 0 simulated" "$SMOKE_OUT" \
     || { echo "check.sh: cached report re-ran simulations" >&2; exit 1; }
 rm -rf "$SMOKE_CACHE"
 
+# Chaos smoke: two fault-injected cells (one link plan, one server
+# plan) must still retrieve the full site byte-identical within the
+# robot's retry budget.  The full 24-cell grid is the slow-marked test.
+python -m repro chaos --seed 1997 --only bursty-loss:pipelined:WAN \
+    > /dev/null
+python -m repro chaos --seed 1997 --only flaky-server:http/1.1:WAN \
+    > /dev/null
+
 # Benchmark smoke: one repetition per cell into a throwaway file, then
 # validate the emitted JSON against the schema the repo's tooling reads.
 BENCH_SMOKE=".repro-cache/check-bench.json"

@@ -54,6 +54,30 @@ CPU savings it said "could now be quantified", rendering timelines with
 range-request multiplexing, progressive-format byte fractions, and the
 two-connection packet-train effect.
 
+## Robustness under injected faults
+
+The closing robustness table re-runs the pipelined WAN first-time
+fetch under each named fault plan (`repro.faults`): Gilbert–Elliott
+bursty segment loss, combined wire chaos (loss + reordering +
+duplication + payload corruption caught by the receiver's checksum),
+a flaky server (scripted 503s and mid-body aborts), and a hostile
+server (close-after-one-response plus a long stall).  Every row still
+retrieves all 43 resources byte-identically; the columns show what the
+recovery cost — drops split by cause, TCP retransmissions / RTO fires /
+fast retransmits, checksum discards, and client-level retries.
+
+The full sweep is `python -m repro chaos`: every fault plan × protocol
+mode (pipelined, persistent, HTTP/1.0) × environment (WAN, PPP), 24
+cells, deterministic in `--seed` (default 1997; per-cell seeds are
+derived from the cell coordinates, so no two cells share a fault
+schedule).  A failing cell reproduces in isolation from its printed
+coordinates alone:
+
+    python -m repro chaos --seed 1997 --only bursty-loss:pipelined:WAN
+
+With `faults=None` (the default everywhere) the injector is never
+installed and the four golden WAN traces remain byte-identical.
+
 ## Known deviations
 
 * **HTTP/1.0 first-retrieval byte counts** run ~12 % below the paper's

@@ -20,6 +20,10 @@ Commands
     Time one representative cell per (mode, environment) pair and write
     ``BENCH_simnet.json`` (see DESIGN.md, "Engine internals and
     performance").
+``chaos``
+    Sweep the deterministic fault-injection grid (fault plans × modes ×
+    environments) and assert every run still retrieves the full site
+    byte-identical within the retry budget.
 ``lint``
     Run the determinism linter over the source tree and (with
     ``--sanitize-traces``) replay captured traces through the TCP
@@ -233,6 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--runs", type=int, default=5)
     _add_matrix_flags(report)
     report.set_defaults(fn=_cmd_report)
+
+    from .faults.chaos import add_chaos_parser
+    add_chaos_parser(sub)
 
     from .lint.cli import add_lint_parser
     add_lint_parser(sub)

@@ -11,7 +11,8 @@ from .paperdata import (BROWSER_TABLES, CONTENT_NUMBERS, MODEM_TABLE,
 from .report import (generate_experiments_report,
                      reproduce_browser_table, reproduce_content_experiments,
                      reproduce_future_work, reproduce_modem_experiment,
-                     reproduce_protocol_table, reproduce_table3,
+                     reproduce_protocol_table, reproduce_robustness,
+                     reproduce_table3,
                      PROFILE_BY_NAME, TABLE_NUMBERS)
 from .tables import (ComparisonRow, format_comparison_table,
                      format_simple_table, ratio)
@@ -22,7 +23,8 @@ __all__ = [
     "generate_experiments_report", "reproduce_browser_table",
     "reproduce_content_experiments", "reproduce_future_work",
     "reproduce_modem_experiment",
-    "reproduce_protocol_table", "reproduce_table3", "PROFILE_BY_NAME",
+    "reproduce_protocol_table", "reproduce_robustness",
+    "reproduce_table3", "PROFILE_BY_NAME",
     "TABLE_NUMBERS",
     "ComparisonRow", "format_comparison_table", "format_simple_table",
     "ratio",

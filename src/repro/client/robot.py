@@ -35,6 +35,7 @@ import zlib
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..faults.recovery import RecoveryLog
 from ..http import (HTTP10, HTTP11, Headers, MemoryCache, ParseError,
                     Request, Response, ResponseParser)
 from .discovery import IncrementalImageScanner
@@ -101,6 +102,29 @@ class ClientConfig:
     #: image first (enough for its metadata/dimensions), then fetch the
     #: tails.  None disables ranged fetching.
     range_prefix_bytes: Optional[int] = None
+    # -- Hardening knobs (fault tolerance; defaults chosen so a clean
+    # -- run takes identical code paths and schedules no extra events).
+    #: Total connection-retry budget for one fetch; exceeding it records
+    #: a terminal error instead of re-queueing forever.
+    retry_budget: int = 64
+    #: Consecutive connection failures *without a single response*
+    #: tolerated before giving up (a server that always closes before
+    #: answering must not loop forever).
+    max_consecutive_failures: int = 5
+    #: Exponential backoff before re-dispatching after a zero-progress
+    #: failure: ``base * 2**(failures-1)``, capped at ``max``.
+    retry_backoff_base: float = 0.1
+    retry_backoff_max: float = 5.0
+    #: Abort a connection when no data has arrived for this many seconds
+    #: while requests are outstanding (None = no watchdog).
+    watchdog_timeout: Optional[float] = None
+    #: Step down the downgrade ladder (pipelined → serialized →
+    #: one-shot) after this many connections died with unanswered
+    #: requests (None = never downgrade).
+    downgrade_after: Optional[int] = None
+    #: Times to re-issue a request answered with a 5xx before accepting
+    #: the error response as final.
+    retry_server_errors: int = 3
 
 
 @dataclasses.dataclass
@@ -116,6 +140,12 @@ class FetchResult:
     errors: List[str] = dataclasses.field(default_factory=list)
     request_bytes: int = 0
     requests_sent: int = 0
+    #: Fault hits and recovery actions taken during the fetch (shared
+    #: with the fault injector / server when one is active).
+    recovery: RecoveryLog = dataclasses.field(default_factory=RecoveryLog)
+    #: Set when the robot gave up (retry budget exhausted, repeated
+    #: zero-progress failures); ``complete`` stays False.
+    terminal_error: Optional[str] = None
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -163,6 +193,12 @@ class _ConnState:
         self.outstanding: Deque[str] = deque()
         self.popped = 0          # responses removed from outstanding
         self.open = True
+        #: Watchdog: standing event chasing ``deadline`` (the lazy-timer
+        #: pattern — progress just moves the attribute, the event
+        #: re-schedules itself if it fires early).  None when the
+        #: watchdog is disabled or idle.
+        self.watchdog_event = None
+        self.deadline = 0.0
         self.conn.on_data = self._on_data
         self.conn.on_eof = self._on_eof
         self.conn.on_reset = self._on_reset
@@ -178,9 +214,18 @@ class _ConnState:
         self.buffer.write(wire)
         if flush:
             self.buffer.flush()
+        self.robot._arm_watchdog(self)
+
+    def cancel_watchdog(self) -> None:
+        if self.watchdog_event is not None:
+            self.watchdog_event.cancel()
+            self.watchdog_event = None
 
     # ------------------------------------------------------------------
     def _on_data(self, _conn: TcpConnection, data: bytes) -> None:
+        timeout = self.robot.config.watchdog_timeout
+        if timeout is not None:
+            self.deadline = self.robot.sim.now + timeout
         try:
             responses = self.parser.feed(data)
         except ParseError as exc:
@@ -239,6 +284,14 @@ class Robot:
         self._inflater: Optional["zlib._Decompress"] = None
         self._cpu_free_at = 0.0
         self._started = False
+        #: Consecutive connection failures that yielded zero responses.
+        self._consecutive_failures = 0
+        #: Connections that died with unanswered requests (feeds the
+        #: downgrade ladder) and the current ladder position: 0 = as
+        #: configured, 1 = persistent-serialized, 2 = one-shot.
+        self._pipeline_kills = 0
+        self._downgrade_level = 0
+        self._server_error_retries: Dict[str, int] = {}
         self.on_complete: Optional[Callable[[FetchResult], None]] = None
         #: Optional instrumentation hooks (used by repro.core.render):
         #: on_response(url, response) fires when a response is handled;
@@ -301,6 +354,10 @@ class Robot:
             headers.add("Accept-Encoding", "deflate")
         if config.http_version == HTTP10 and config.keep_alive:
             headers.add("Connection", "Keep-Alive")
+        elif config.http_version >= HTTP11 and self._downgrade_level >= 2:
+            # Fully downgraded: one request per connection, and the
+            # server must not hold the connection open afterwards.
+            headers.add("Connection", "close")
         prefix = config.range_prefix_bytes
         if prefix and not is_html and self._scenario == FIRST_TIME:
             if tail_of is not None:
@@ -332,13 +389,13 @@ class Robot:
     # Dispatch policies
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
-        if self.result.complete:
+        if self.result.complete or self.result.terminal_error is not None:
             return
         config = self.config
         persistent = (config.http_version >= HTTP11 or config.keep_alive)
-        if not persistent:
+        if not persistent or self._downgrade_level >= 2:
             self._dispatch_one_shot()
-        elif config.pipeline:
+        elif config.pipeline and self._downgrade_level == 0:
             self._dispatch_pipelined()
         else:
             self._dispatch_serialized()
@@ -423,6 +480,24 @@ class Robot:
 
     def _handle_response(self, state: _ConnState, url: str,
                          response: Response) -> None:
+        if 500 <= response.status < 600:
+            attempts = self._server_error_retries.get(url, 0)
+            if attempts < self.config.retry_server_errors:
+                # Transient server error: re-issue the request rather
+                # than accepting the error body as the resource.
+                self._server_error_retries[url] = attempts + 1
+                self.result.retries += 1
+                self._note("retry-5xx",
+                           f"{response.status} for {url} "
+                           f"(attempt {attempts + 1})")
+                self._pending.append(url)
+                if not response.allows_keep_alive() and state.open:
+                    state.open = False
+                    if state.conn.state != "CLOSED":
+                        state.conn.close()
+                self._dispatch()
+                self._check_complete()
+                return
         if response.status in (200, 304) and response.request_method == "GET":
             body = response.body
             if response.headers.get("Content-Encoding") == "deflate" \
@@ -507,17 +582,123 @@ class Robot:
     # ------------------------------------------------------------------
     # Retry / completion
     # ------------------------------------------------------------------
+    def _note(self, kind: str, detail: str = "") -> None:
+        self.result.recovery.note(self.sim.now, "client", kind, detail)
+
+    def _arm_watchdog(self, state: _ConnState) -> None:
+        timeout = self.config.watchdog_timeout
+        if timeout is None:
+            return
+        state.deadline = self.sim.now + timeout
+        if state.watchdog_event is None:
+            state.watchdog_event = self.sim.schedule(
+                timeout, self._watchdog_fire, state)
+
+    def _watchdog_fire(self, state: _ConnState) -> None:
+        state.watchdog_event = None
+        if (not state.open or self.result.complete
+                or self.result.terminal_error is not None):
+            return
+        if not state.outstanding:
+            # Idle connection; the next send_request re-arms.
+            return
+        if self.sim.now < state.deadline:
+            # Progress moved the deadline since we were scheduled:
+            # chase it (the lazy-timer pattern).
+            state.watchdog_event = self.sim.schedule_at(
+                state.deadline, self._watchdog_fire, state)
+            return
+        self.result.errors.append(
+            f"watchdog: no data for {self.config.watchdog_timeout:g}s "
+            f"with {len(state.outstanding)} outstanding")
+        self._note("watchdog",
+                   f"{len(state.outstanding)} outstanding, popped "
+                   f"{state.popped}")
+        state.open = False
+        if state.conn.state != "CLOSED":
+            state.conn.abort()
+        self._connection_gone(state)
+
     def _connection_gone(self, state: _ConnState) -> None:
+        state.cancel_watchdog()
+        if self.result.complete or self.result.terminal_error is not None:
+            return
         if state.outstanding:
-            # Server closed mid-pipeline (e.g. a request cap): re-issue
-            # the unanswered requests on a fresh connection.
+            # Server closed (or the watchdog killed) the connection with
+            # unanswered requests: re-issue them on a fresh connection,
+            # within a bounded budget.
             self.result.retries += 1
             requeue = list(state.outstanding)
             state.outstanding.clear()
+            if state.popped:
+                self._consecutive_failures = 0
+            else:
+                self._consecutive_failures += 1
+            self._note("retry",
+                       f"requeue {len(requeue)} after connection loss")
+            if self.result.retries > self.config.retry_budget:
+                self._fail(f"retry budget exhausted "
+                           f"({self.config.retry_budget})")
+                return
+            if (self._consecutive_failures
+                    >= self.config.max_consecutive_failures):
+                self._fail(f"{self._consecutive_failures} consecutive "
+                           f"connection failures without a response")
+                return
             for url in reversed(requeue):
                 self._pending.appendleft(url)
+            self._maybe_downgrade()
+            if self._consecutive_failures:
+                # Zero-progress failure: back off exponentially before
+                # hammering the server again.
+                delay = min(
+                    self.config.retry_backoff_base
+                    * 2.0 ** (self._consecutive_failures - 1),
+                    self.config.retry_backoff_max)
+                self._note("backoff", f"{delay:g}s")
+                self.sim.schedule(delay, self._retry_dispatch)
+                return
         self._dispatch()
         self._check_complete()
+
+    def _retry_dispatch(self) -> None:
+        if self.result.complete or self.result.terminal_error is not None:
+            return
+        self._dispatch()
+        self._check_complete()
+
+    def _maybe_downgrade(self) -> None:
+        """Step down pipelined → serialized → one-shot after repeated
+        connection deaths with unanswered requests."""
+        after = self.config.downgrade_after
+        if after is None:
+            return
+        self._pipeline_kills += 1
+        config = self.config
+        persistent = (config.http_version >= HTTP11 or config.keep_alive)
+        if (self._downgrade_level == 0 and config.pipeline and persistent
+                and self._pipeline_kills >= after):
+            self._downgrade_level = 1
+            self._note("downgrade", "pipelined -> serialized")
+        elif (self._downgrade_level <= 1 and persistent
+                and self._pipeline_kills >= 2 * after):
+            self._downgrade_level = 2
+            self._note("downgrade", "serialized -> one-shot")
+
+    def _fail(self, reason: str) -> None:
+        if self.result.complete or self.result.terminal_error is not None:
+            return
+        self.result.terminal_error = reason
+        self.result.errors.append(f"terminal: {reason}")
+        self._note("terminal", reason)
+        for state in self._conns:
+            state.cancel_watchdog()
+            if state.open:
+                state.open = False
+                if state.conn.state != "CLOSED":
+                    state.conn.abort()
+        if self.on_complete is not None:
+            self.on_complete(self.result)
 
     def _check_complete(self) -> None:
         if self.result.complete:
@@ -529,6 +710,8 @@ class Robot:
         if any(c.outstanding for c in self._alive_conns()):
             return
         self.result.completed_at = self.sim.now
+        for state in self._conns:
+            state.cancel_watchdog()
         for state in self._alive_conns():
             state.buffer.flush()
             state.open = False

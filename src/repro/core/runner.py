@@ -16,6 +16,8 @@ import statistics
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..client.robot import ClientConfig, FetchResult, Robot
+from ..faults import (FaultInjector, FaultPlan, FaultyProfile, RecoveryLog,
+                      resolve_fault_plan)
 from ..perf import PerfCounters
 from ..content.microscape import MicroscapeSite, build_microscape_site
 from ..http import MemoryCache
@@ -73,6 +75,14 @@ class RunResult:
     statuses: Dict[int, int]
     fetch: FetchResult
     trace: TraceSummary
+    #: Link drops split by cause, and TCP sender recovery totals (all
+    #: zero on the paper's clean links; nonzero under fault injection).
+    dropped_loss: int = 0
+    dropped_overflow: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+    checksum_drops: int = 0
     #: Full tcpdump-style trace lines (only when ``keep_trace=True``).
     trace_lines: Optional[str] = None
 
@@ -131,6 +141,34 @@ class AveragedResult:
         return self._mean("mean_packet_size")
 
     @property
+    def retries(self) -> float:
+        return self._mean("retries")
+
+    @property
+    def dropped_loss(self) -> float:
+        return self._mean("dropped_loss")
+
+    @property
+    def dropped_overflow(self) -> float:
+        return self._mean("dropped_overflow")
+
+    @property
+    def retransmissions(self) -> float:
+        return self._mean("retransmissions")
+
+    @property
+    def timeouts(self) -> float:
+        return self._mean("timeouts")
+
+    @property
+    def fast_retransmits(self) -> float:
+        return self._mean("fast_retransmits")
+
+    @property
+    def checksum_drops(self) -> float:
+        return self._mean("checksum_drops")
+
+    @property
     def perf(self) -> PerfCounters:
         """Aggregate simulator work counters across the seeded runs.
 
@@ -173,7 +211,8 @@ def run_experiment(mode: Union[str, ProtocolMode],
                    verify: bool = True,
                    keep_trace: bool = False,
                    sanitize: bool = False,
-                   max_sim_time: float = 1200.0) -> RunResult:
+                   max_sim_time: float = 1200.0,
+                   faults: Union[None, str, FaultPlan] = None) -> RunResult:
     """Run one (mode, scenario, environment, server) cell.
 
     ``mode``, ``scenario``, ``environment`` and ``profile`` accept
@@ -192,6 +231,15 @@ def run_experiment(mode: Union[str, ProtocolMode],
     the link, raising :class:`~repro.lint.InvariantViolationError` the
     moment any segment breaks a TCP invariant (handshake order,
     sequence monotonicity, Nagle, delayed-ACK deadlines, half-close).
+
+    ``faults`` names a :class:`~repro.faults.FaultPlan` (or passes one
+    directly): link faults are injected by a seeded
+    :class:`~repro.faults.FaultInjector`, server faults wrap ``profile``
+    in a :class:`~repro.faults.FaultyProfile`, and the client config is
+    hardened (watchdog + downgrade ladder) unless explicitly tuned.
+    With ``faults=None`` nothing changes: no injector is installed, no
+    extra events are scheduled, and runs stay bit-identical to the
+    golden traces.
     """
     mode = resolve_mode(mode)
     scenario = resolve_scenario(scenario)
@@ -207,9 +255,22 @@ def run_experiment(mode: Union[str, ProtocolMode],
     server_tcp = TcpConfig(mss=environment.mss, delack_delay=0.050)
     config = client_config or mode.client_config(
         flush_timeout=flush_timeout, explicit_flush=explicit_flush)
+    plan = resolve_fault_plan(faults)
+    recovery: Optional[RecoveryLog] = None
+    if plan is not None:
+        recovery = RecoveryLog()
+        if plan.server.active:
+            profile = FaultyProfile.wrap(profile, plan.server)
+        config = _fault_hardened_config(config, environment)
     net = TwoHostNetwork(environment, seed=seed, jitter=jitter,
                          server_config=server_tcp)
+    if plan is not None and plan.link.active:
+        # A private RNG stream (offset from the run seed) so injecting
+        # faults never perturbs the link's jitter draw sequence.
+        FaultInjector(net.link, plan.link, seed=seed + 7919,
+                      recovery=recovery)
     server = SimHttpServer(net.sim, net.server, store, profile)
+    server.recovery = recovery
     sanitizer = None
     if sanitize:
         from ..lint import LiveSanitizer, SanitizerConfig
@@ -226,6 +287,9 @@ def run_experiment(mode: Union[str, ProtocolMode],
         prefill_cache(cache, store, site, profile)
     robot = Robot(net.sim, net.client, SERVER_HOST, server.port,
                   config, cache)
+    if recovery is not None:
+        # One shared log: injector, server and robot all write to it.
+        robot.result.recovery = recovery
     known = site.all_urls() if scenario == REVALIDATE else None
     result = robot.fetch(site.html_url, scenario, known_urls=known)
     net.run(until=max_sim_time)
@@ -233,8 +297,11 @@ def run_experiment(mode: Union[str, ProtocolMode],
     if sanitizer is not None:
         sanitizer.finish(net.sim.now)
     if not result.complete:
+        detail = (f" (terminal: {result.terminal_error})"
+                  if result.terminal_error else "")
         raise ExperimentError(
-            f"fetch did not complete: {len(result.responses)} responses, "
+            f"fetch did not complete{detail}: "
+            f"{len(result.responses)} responses, "
             f"errors={result.errors}")
     if verify:
         _verify(result, scenario, site)
@@ -242,6 +309,14 @@ def run_experiment(mode: Union[str, ProtocolMode],
     for response in result.responses.values():
         statuses[response.status] = statuses.get(response.status, 0) + 1
     trace = net.trace.summary()
+    trace.retransmissions = (net.client.retransmissions
+                             + net.server.retransmissions)
+    trace.timeouts = net.client.timeouts + net.server.timeouts
+    trace.fast_retransmits = (net.client.fast_retransmits
+                              + net.server.fast_retransmits)
+    trace.checksum_drops = (net.client.checksum_drops
+                            + net.server.checksum_drops)
+    trace.recovery = recovery
     return RunResult(
         packets=trace.packets,
         payload_bytes=trace.payload_bytes,
@@ -259,7 +334,31 @@ def run_experiment(mode: Union[str, ProtocolMode],
         statuses=statuses,
         fetch=result,
         trace=trace,
+        dropped_loss=trace.dropped_loss,
+        dropped_overflow=trace.dropped_overflow,
+        retransmissions=trace.retransmissions,
+        timeouts=trace.timeouts,
+        fast_retransmits=trace.fast_retransmits,
+        checksum_drops=trace.checksum_drops,
         trace_lines=net.trace.format_trace() if keep_trace else None)
+
+
+def _fault_hardened_config(config: ClientConfig,
+                           environment: NetworkEnvironment) -> ClientConfig:
+    """Fill in hardening defaults for a run under fault injection.
+
+    Knobs already set (non-default) are respected; the watchdog scales
+    with the environment's RTT so slow modem links are not mistaken for
+    stalled servers.
+    """
+    overrides = {}
+    if config.watchdog_timeout is None:
+        overrides["watchdog_timeout"] = 10.0 + 40.0 * environment.rtt
+    if config.downgrade_after is None:
+        overrides["downgrade_after"] = 2
+    if not overrides:
+        return config
+    return dataclasses.replace(config, **overrides)
 
 
 def _verify(result: FetchResult, scenario: str,

@@ -1,0 +1,91 @@
+"""Named fault plans: the grid swept by ``python -m repro chaos``.
+
+A :class:`FaultPlan` bundles a link-fault config and a server-fault
+config under a stable name, so experiment specs can reference faults as
+a plain string dimension (cache-key friendly) and a failing chaos cell
+can be reproduced from its ``plan:mode:environment`` coordinates alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Union
+
+from .injector import LinkFaultConfig
+from .server import ServerFaultConfig
+
+__all__ = ["FaultPlan", "FAULT_PLANS", "resolve_fault_plan"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """One named combination of link and server faults."""
+
+    name: str
+    description: str
+    link: LinkFaultConfig = LinkFaultConfig()
+    server: ServerFaultConfig = ServerFaultConfig()
+
+
+#: Gilbert–Elliott bursty loss: ~2 % chance per segment of entering a
+#: burst that drops ~30 % of segments until it ends (mean burst length
+#: ~3 segments).  Pure transport adversity — exercises RTO and
+#: fast-retransmit without any application-level fault.
+_BURSTY_LOSS = FaultPlan(
+    name="bursty-loss",
+    description="Gilbert-Elliott bursty segment loss (congested path)",
+    link=LinkFaultConfig(p_good_to_bad=0.02, p_bad_to_good=0.3,
+                         loss_good=0.005, loss_bad=0.3),
+)
+
+#: Everything wrong with the wire at once, lightly: a little loss plus
+#: reordering, duplication and payload corruption.  Corruption lands on
+#: the receiver's checksum check, so it turns into loss the sender must
+#: repair.
+_WIRE_CHAOS = FaultPlan(
+    name="wire-chaos",
+    description="light loss + reordering + duplication + corruption",
+    link=LinkFaultConfig(loss_good=0.01, reorder_rate=0.05,
+                         reorder_max_delay=0.02, duplicate_rate=0.03,
+                         corrupt_rate=0.03),
+)
+
+#: An unreliable application: scattered 503s and two mid-body aborts.
+#: The robot must retry the 503s and re-fetch the aborted resources on
+#: fresh connections.
+_FLAKY_SERVER = FaultPlan(
+    name="flaky-server",
+    description="deterministic 503s and mid-response aborts",
+    server=ServerFaultConfig(error_503_requests=(3, 11, 27),
+                             abort_requests=(7, 19),
+                             abort_after_bytes=512),
+)
+
+#: A pipeline-hostile server: one response per connection (beyond even
+#: Apache 1.2b2's cap of five) plus a long stall early on, forcing the
+#: watchdog and the downgrade ladder to engage.
+_HOSTILE_SERVER = FaultPlan(
+    name="hostile-server",
+    description="close-after-one-response + an early long stall",
+    server=ServerFaultConfig(stall_requests=(2,), stall_seconds=25.0,
+                             close_after_one=True),
+)
+
+#: Registry of the chaos grid's fault plans.
+FAULT_PLANS: Dict[str, FaultPlan] = {
+    plan.name: plan for plan in (_BURSTY_LOSS, _WIRE_CHAOS,
+                                 _FLAKY_SERVER, _HOSTILE_SERVER)
+}
+
+
+def resolve_fault_plan(
+        faults: Union[None, str, FaultPlan]) -> Optional[FaultPlan]:
+    """Accept a plan name, a plan, or None; return the plan or None."""
+    if faults is None or isinstance(faults, FaultPlan):
+        return faults
+    try:
+        return FAULT_PLANS[faults]
+    except KeyError:
+        known = ", ".join(sorted(FAULT_PLANS))
+        raise ValueError(
+            f"unknown fault plan {faults!r} (known: {known})") from None

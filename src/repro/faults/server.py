@@ -1,0 +1,79 @@
+"""Misbehaving-server profiles: deterministic application-level faults.
+
+The paper's implementation-lessons section is a catalogue of server
+misbehaviour — naive both-halves close RST'ing pipelined clients,
+Apache 1.2b2's five-request cap breaking pipelines, servers stalling
+under load.  :class:`ServerFaultConfig` scripts those behaviours
+deterministically by *request ordinal* (the Nth request the server
+receives), so a seeded run always hits the same faults:
+
+* ``error_503_requests`` — answer those ordinals with a 503 instead of
+  the real resource (the robot retries them);
+* ``abort_requests`` — send ``abort_after_bytes`` of the real response,
+  then RST the connection mid-body;
+* ``stall_requests`` — freeze the serial server CPU for
+  ``stall_seconds`` before answering (the robot's watchdog fires);
+* ``close_after_one`` — cap every connection at one response, the
+  pipeline-hostile extreme of Apache 1.2b2's cap of five.
+
+:class:`FaultyProfile` is a :class:`ServerProfile` subclass, so the
+whole server stack (response building, buffering, CPU model) works
+unchanged; ``SimHttpServer`` consults ``profile.faults`` at dispatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+from ..server.profiles import ServerProfile
+
+__all__ = ["ServerFaultConfig", "FaultyProfile"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServerFaultConfig:
+    """Scripted application-level faults, keyed by request ordinal
+    (1-based, counted across all connections in arrival order)."""
+
+    #: Ordinals answered with a 503 Service Unavailable.
+    error_503_requests: Tuple[int, ...] = ()
+    #: Ordinals whose response is cut off by an RST mid-body.
+    abort_requests: Tuple[int, ...] = ()
+    #: Body bytes sent before the abort.
+    abort_after_bytes: int = 512
+    #: Ordinals that stall the serial server CPU before answering.
+    stall_requests: Tuple[int, ...] = ()
+    stall_seconds: float = 5.0
+    #: Close every connection after a single response.
+    close_after_one: bool = False
+
+    def __post_init__(self) -> None:
+        if self.abort_after_bytes < 0:
+            raise ValueError("abort_after_bytes cannot be negative")
+        if self.stall_seconds < 0:
+            raise ValueError("stall_seconds cannot be negative")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.error_503_requests or self.abort_requests
+                    or self.stall_requests or self.close_after_one)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultyProfile(ServerProfile):
+    """A :class:`ServerProfile` with scripted faults attached."""
+
+    faults: ServerFaultConfig = ServerFaultConfig()
+
+    @classmethod
+    def wrap(cls, base: ServerProfile,
+             faults: ServerFaultConfig) -> "FaultyProfile":
+        """Clone ``base`` with ``faults`` attached (name gains a
+        ``+faults`` suffix so reports and cache keys distinguish it)."""
+        fields = {f.name: getattr(base, f.name)
+                  for f in dataclasses.fields(ServerProfile)}
+        fields["name"] = f"{base.name}+faults"
+        if faults.close_after_one:
+            fields["max_requests_per_connection"] = 1
+        return cls(faults=faults, **fields)

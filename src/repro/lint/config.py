@@ -84,5 +84,7 @@ DEFAULT_CONFIG = LintConfig(
         "simnet/packet.py",
         "simnet/tcp.py",
         "simnet/trace.py",
+        # The fault injector runs once per delivered segment.
+        "faults/injector.py",
     ),
 )

@@ -39,6 +39,8 @@ RESULT_FIELDS = (
     "connections_used", "max_parallel_connections", "retries",
     "server_cpu_seconds", "mean_packets_per_connection",
     "mean_packet_size", "mean_request_bytes",
+    "dropped_loss", "dropped_overflow", "retransmissions", "timeouts",
+    "fast_retransmits", "checksum_drops",
 )
 
 

@@ -89,7 +89,8 @@ def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[RunResult, float]:
         environment=spec.environment, profile=spec.server,
         seed=seed, jitter=spec.jitter,
         client_config=spec.client_config(),
-        verify=spec.verify, max_sim_time=spec.max_sim_time)
+        verify=spec.verify, max_sim_time=spec.max_sim_time,
+        faults=spec.faults)
     wall = time.perf_counter() - start
     stripped = dataclasses.replace(result, fetch=None, trace=None)
     return stripped, wall

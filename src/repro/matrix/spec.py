@@ -103,6 +103,9 @@ class ExperimentSpec:
     client_overrides: Tuple[Tuple[str, Any], ...] = ()
     verify: bool = True
     max_sim_time: float = 1200.0
+    #: Named :class:`~repro.faults.FaultPlan` injected into each run
+    #: (None = the clean, golden-trace-identical configuration).
+    faults: Any = None
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
@@ -122,6 +125,12 @@ class ExperimentSpec:
              _canonical_overrides(self.client_overrides))
         set_(self, "verify", bool(self.verify))
         set_(self, "max_sim_time", float(self.max_sim_time))
+        if self.faults is not None:
+            # Store the canonical plan *name*: specs stay hashable and
+            # JSON-serializable, and the registry resolves it at run
+            # time.  Unknown names fail here, at construction.
+            from ..faults import resolve_fault_plan
+            set_(self, "faults", resolve_fault_plan(self.faults).name)
 
     # ------------------------------------------------------------------
     # Resolution
@@ -175,6 +184,7 @@ class ExperimentSpec:
                                  in self.client_overrides],
             "verify": self.verify,
             "max_sim_time": self.max_sim_time,
+            "faults": self.faults,
         }
 
     # ------------------------------------------------------------------

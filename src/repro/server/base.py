@@ -135,6 +135,12 @@ class SimHttpServer:
         #: Statistics for tests.
         self.requests_served = 0
         self.connections_accepted = 0
+        #: Arrival ordinal of the last request, across all connections —
+        #: the key by which scripted server faults fire.
+        self.requests_received = 0
+        #: Optional :class:`~repro.faults.RecoveryLog` the server notes
+        #: injected faults into (set by the experiment runner).
+        self.recovery = None
         #: Total CPU-busy seconds consumed (the paper's future work:
         #: "the CPU time savings of HTTP/1.1 ... could now be
         #: quantified for Apache").
@@ -163,11 +169,39 @@ class SimHttpServer:
             + self.profile.per_connection_cpu
         self.cpu_busy_seconds += self.profile.per_connection_cpu
 
+    def _note(self, kind: str, detail: str = "") -> None:
+        if self.recovery is not None:
+            self.recovery.note(self.sim.now, "server", kind, detail)
+
     def _dispatch(self, state: _ServerConnection,
                   request: Request) -> None:
-        response = build_response(
-            self.store, request, self.profile,
-            date_header=format_http_date(PAPER_EPOCH + self.sim.now))
+        self.requests_received += 1
+        ordinal = self.requests_received
+        faults = getattr(self.profile, "faults", None)
+        abort_after = None
+        if faults is not None:
+            if ordinal in faults.stall_requests:
+                # The worker freezes before touching this request: the
+                # serial CPU is unavailable for the stall (which is not
+                # billed as useful work).
+                self._cpu_free_at = max(self.sim.now, self._cpu_free_at) \
+                    + faults.stall_seconds
+                self._note("stall", f"request {ordinal} stalls "
+                           f"{faults.stall_seconds:g}s")
+            if ordinal in faults.abort_requests:
+                abort_after = faults.abort_after_bytes
+        if faults is not None and ordinal in faults.error_503_requests:
+            self._note("503", f"request {ordinal} ({request.target})")
+            error_body = b"Service Unavailable\r\n"
+            response = Response(
+                503, request.version,
+                Headers([("Content-Type", "text/plain"),
+                         ("Content-Length", str(len(error_body)))]),
+                body=error_body, request_method=request.method)
+        else:
+            response = build_response(
+                self.store, request, self.profile,
+                date_header=format_http_date(PAPER_EPOCH + self.sim.now))
         self._apply_connection_headers(state, request, response)
         cost = (self.profile.base_cpu
                 + len(response.body_on_wire()) * self.profile.cpu_per_byte)
@@ -177,6 +211,21 @@ class SimHttpServer:
         head = payload[:len(payload) - len(body)]
 
         def emit() -> None:
+            if abort_after is not None:
+                state.responses_queued -= 1
+                self._note("abort", f"request {ordinal} RST after "
+                           f"{abort_after} bytes")
+                if state.closed or state.conn.state == "CLOSED":
+                    return
+                # Send a truncated prefix of the response, then slam the
+                # connection shut with an RST mid-body.
+                state.flush()
+                partial = payload[:abort_after]
+                if partial:
+                    state.conn.send(partial)
+                state.closed = True
+                state.conn.abort()
+                return
             state.responses_queued -= 1
             state.responses_sent += 1
             self.requests_served += 1

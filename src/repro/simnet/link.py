@@ -102,8 +102,20 @@ class Link:
         self._receivers: Dict[str, Callable[[Segment], None]] = {}
         #: Observers called with each segment at *send* time (tracing).
         self.taps: list = []
-        #: Segments dropped by the loss process.
+        #: Total segments the link discarded (loss process + drop-tail
+        #: overflow).  Kept as a plain writable attribute — loss-shim
+        #: tests account their own drops here.
         self.segments_dropped = 0
+        #: Drops by the random / injected loss process alone.
+        self.dropped_loss = 0
+        #: Drops by drop-tail queue overflow alone.
+        self.dropped_overflow = 0
+        #: Optional :class:`~repro.faults.FaultInjector` (duck-typed:
+        #: anything with ``handle(segment, deliver_at)``).  When set it
+        #: takes over delivery scheduling after the serialization/loss
+        #: model has run, so it can drop, corrupt, duplicate or delay
+        #: the segment.  ``None`` (the default) is the zero-cost path.
+        self.fault_injector = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -146,6 +158,7 @@ class Link:
             if self._queued.get(direction, 0) >= self.queue_limit_packets:
                 # Drop-tail: the bottleneck buffer is full.
                 self.segments_dropped += 1
+                self.dropped_overflow += 1
                 return
             self._queued[direction] = self._queued.get(direction, 0) + 1
         start = max(self.sim.now, self._next_free.get(direction, 0.0))
@@ -157,8 +170,15 @@ class Link:
         if self.loss_rate and self.rng.random() < self.loss_rate:
             # The segment occupied the wire but never arrives.
             self.segments_dropped += 1
+            self.dropped_loss += 1
             return
         deliver_at = finish + self.propagation_delay
+        if self.fault_injector is not None:
+            # The injector owns delivery from here: it may drop the
+            # segment, corrupt a copy, schedule it twice, or push its
+            # arrival later (bounded reordering).
+            self.fault_injector.handle(segment, deliver_at)
+            return
         self.sim.schedule_at(deliver_at, self._deliver, segment)
 
     def _dequeue(self, direction: Tuple[str, str]) -> None:

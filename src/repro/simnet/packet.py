@@ -75,15 +75,16 @@ class Segment:
 
     __slots__ = ("src", "sport", "dst", "dport", "seq", "ack", "payload",
                  "flag_syn", "flag_ack", "flag_fin", "flag_rst",
-                 "flag_psh", "window", "delivered_at", "payload_len",
-                 "wire_size", "seq_space", "end_seq")
+                 "flag_psh", "window", "delivered_at", "checksum",
+                 "payload_len", "wire_size", "seq_space", "end_seq")
 
     def __init__(self, src: str, sport: int, dst: str, dport: int,
                  seq: int = 0, ack: int = 0, payload: bytes = b"",
                  flag_syn: bool = False, flag_ack: bool = False,
                  flag_fin: bool = False, flag_rst: bool = False,
                  flag_psh: bool = False, window: int = 65535,
-                 delivered_at: Optional[float] = None) -> None:
+                 delivered_at: Optional[float] = None,
+                 checksum: Optional[int] = None) -> None:
         self.src = src
         self.sport = sport
         self.dst = dst
@@ -100,6 +101,12 @@ class Segment:
         self.window = window
         #: Stamped by the link at delivery (trace convenience).
         self.delivered_at = delivered_at
+        #: CRC32 the payload must match at the receiver, or None for a
+        #: trusted segment.  ``None`` is the universal fast path: only
+        #: the fault injector ever stamps a checksum (of the *original*
+        #: payload, onto a corrupted copy), so clean runs never pay for
+        #: a hash and corrupted segments are discarded on receipt.
+        self.checksum = checksum
         length = len(payload)
         self.payload_len = length
         self.wire_size = length + HEADER_BYTES
@@ -115,6 +122,7 @@ class Segment:
             "flag_fin": self.flag_fin, "flag_rst": self.flag_rst,
             "flag_psh": self.flag_psh, "window": self.window,
             "delivered_at": self.delivered_at,
+            "checksum": self.checksum,
         }
         kwargs.update(overrides)
         return Segment(self.src, self.sport, self.dst, self.dport,

@@ -34,6 +34,7 @@ and SYN/FIN each consume one sequence number, exactly as in RFC 793.
 from __future__ import annotations
 
 import dataclasses
+import zlib
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .engine import Event, Simulator
@@ -461,6 +462,7 @@ class TcpConnection:
         if not self._retransmit_queue or self.state == "CLOSED":
             return
         self.timeouts += 1
+        self.stack.timeouts += 1
         # Multiplicative decrease and slow-start restart.
         flight = max(self.in_flight, self.config.mss)
         self.ssthresh = max(flight // 2, 2 * self.config.mss)
@@ -474,6 +476,7 @@ class TcpConnection:
     def _retransmit_first(self) -> None:
         segment = self._retransmit_queue[0]
         self.retransmissions += 1
+        self.stack.retransmissions += 1
         self._rtt_sample = None          # Karn's rule
         copy = segment.replace(
             ack=self.rcv_nxt,
@@ -701,6 +704,7 @@ class TcpConnection:
             if self._dup_acks == self.config.dupack_threshold \
                     and not self._in_recovery:
                 self.fast_retransmits += 1
+                self.stack.fast_retransmits += 1
                 flight = max(self.in_flight, self.config.mss)
                 self.ssthresh = max(flight // 2, 2 * self.config.mss)
                 self.cwnd = self.ssthresh
@@ -856,7 +860,9 @@ class TcpStack:
     """Per-host TCP: port allocation, demultiplexing, connection table."""
 
     __slots__ = ("sim", "host", "link", "config", "_connections",
-                 "_listeners", "_next_ephemeral", "total_connections")
+                 "_listeners", "_next_ephemeral", "total_connections",
+                 "checksum_drops", "retransmissions", "timeouts",
+                 "fast_retransmits")
 
     EPHEMERAL_BASE = 32768
 
@@ -871,6 +877,15 @@ class TcpStack:
         self._next_ephemeral = self.EPHEMERAL_BASE
         #: Total connections ever opened from/accepted by this stack.
         self.total_connections = 0
+        #: Arriving segments discarded for a payload/checksum mismatch
+        #: (only fault-injected segments carry a checksum at all).
+        self.checksum_drops = 0
+        #: Stack-wide loss-recovery totals.  Connections are forgotten
+        #: from the table as they close, so per-connection counters are
+        #: unreachable after a run; these survive it.
+        self.retransmissions = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
         link.attach(host, self._receive)
 
     # ------------------------------------------------------------------
@@ -902,6 +917,14 @@ class TcpStack:
 
     # ------------------------------------------------------------------
     def _receive(self, segment: Segment) -> None:
+        if segment.checksum is not None \
+                and zlib.crc32(segment.payload) != segment.checksum:
+            # A corrupted segment: real stacks drop it on the bad
+            # checksum and let the sender's loss recovery repair the
+            # stream.  (``checksum is None`` — every segment outside
+            # fault injection — skips the hash entirely.)
+            self.checksum_drops += 1
+            return
         key = (segment.dport, segment.src, segment.sport)
         conn = self._connections.get(key)
         if conn is not None:

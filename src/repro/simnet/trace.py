@@ -23,11 +23,14 @@ straight from the columns.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..perf import PerfCounters
 from .link import Link
 from .packet import HEADER_BYTES, Segment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.recovery import RecoveryLog
 
 __all__ = ["PacketRecord", "TraceSummary", "TraceCollector"]
 
@@ -75,6 +78,21 @@ class TraceSummary:
     #: Simulator work counters for the run that produced this trace
     #: (None for hand-built summaries).
     perf: Optional[PerfCounters] = None
+    #: Link drops by the random / injected loss process.
+    dropped_loss: int = 0
+    #: Link drops by drop-tail queue overflow.
+    dropped_overflow: int = 0
+    #: TCP sender recovery totals, summed over both stacks for the run
+    #: (zero on the paper's quiet links).
+    retransmissions: int = 0
+    timeouts: int = 0
+    fast_retransmits: int = 0
+    #: Segments discarded at the receiver for a failed payload checksum
+    #: (only the fault injector ever stamps checksums).
+    checksum_drops: int = 0
+    #: Fault / recovery event log for the run, when fault injection was
+    #: active (None for clean runs and hand-built summaries).
+    recovery: Optional["RecoveryLog"] = None
 
     @property
     def wire_bytes(self) -> int:
@@ -101,14 +119,15 @@ class TraceCollector:
         way the paper's client-side traces do.
     """
 
-    __slots__ = ("client_host", "_sim", "_times", "_srcs", "_sports",
-                 "_dsts", "_dports", "_flags", "_seqs", "_acks",
+    __slots__ = ("client_host", "_sim", "_link", "_times", "_srcs",
+                 "_sports", "_dsts", "_dports", "_flags", "_seqs", "_acks",
                  "_payload_lens", "_wire_sizes", "_payload_total",
                  "_records_cache")
 
     def __init__(self, link: Link, client_host: str) -> None:
         self.client_host = client_host
         self._sim = link.sim
+        self._link = link
         # Parallel columns, one entry per captured segment.
         self._times: List[float] = []
         self._srcs: List[str] = []
@@ -183,7 +202,9 @@ class TraceCollector:
             connections=len(flows), duration=duration,
             mean_packets_per_connection=per_conn,
             mean_packet_size=mean_size,
-            perf=self._sim.perf.snapshot())
+            perf=self._sim.perf.snapshot(),
+            dropped_loss=self._link.dropped_loss,
+            dropped_overflow=self._link.dropped_overflow)
 
     def _flows(self) -> Dict[Tuple[str, int, str, int], int]:
         """Group records into bidirectional flows (connections)."""

@@ -1,0 +1,218 @@
+"""Robot failure paths: resets, truncation, requeue order, hardening."""
+
+import pytest
+
+from repro.client import FIRST_TIME, ClientConfig, Robot
+from repro.content import build_microscape_site
+from repro.faults import FaultyProfile, ServerFaultConfig
+from repro.http import HTTP11
+from repro.server import APACHE, ResourceStore, SimHttpServer
+from repro.simnet import LAN, SERVER_HOST, TwoHostNetwork
+
+
+@pytest.fixture(scope="module")
+def site():
+    return build_microscape_site()
+
+
+@pytest.fixture(scope="module")
+def store(site):
+    return ResourceStore.from_site(site)
+
+
+def run_fetch(site, store, config, profile=APACHE, follow_images=True):
+    import dataclasses
+    config = dataclasses.replace(config, follow_images=follow_images)
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, store, profile)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80, config)
+    result = robot.fetch(site.html_url, FIRST_TIME)
+    net.run()
+    return robot, result
+
+
+def faulty(**kwargs):
+    return FaultyProfile.wrap(APACHE, ServerFaultConfig(**kwargs))
+
+
+# ----------------------------------------------------------------------
+# Connection reset / truncation
+# ----------------------------------------------------------------------
+def test_reset_mid_body_is_recorded_and_recovered(site, store):
+    """The server RSTs the first response mid-body; _on_reset requeues
+    the unanswered request and the retry succeeds."""
+    profile = faulty(abort_requests=(1,), abort_after_bytes=100)
+    _, result = run_fetch(site, store,
+                          ClientConfig(http_version=HTTP11), profile)
+    assert result.complete
+    assert len(result.responses) == 43
+    assert result.retries >= 1
+    assert any("connection reset" in error for error in result.errors)
+    assert result.recovery.count("client", "retry") >= 1
+
+
+def test_truncated_response_on_eof_records_parse_error(site, store):
+    """A connection closed inside a Content-Length body is a truncated
+    response: the error is recorded and the request requeued."""
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, store, APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80,
+                  ClientConfig(http_version=HTTP11))
+    state = robot._new_conn()
+    net.run()                       # let the handshake finish
+    robot._started = True
+    robot._html_complete = True
+    robot._expected["/x.html"] = False
+    state.parser.expect("GET")
+    state.outstanding.append("/x.html")
+    state._on_data(state.conn, b"HTTP/1.1 200 OK\r\n"
+                               b"Content-Length: 100\r\n\r\nshort")
+    state._on_eof(state.conn)
+    assert any("truncated response" in error
+               for error in robot.result.errors)
+    assert not state.open
+    assert robot.result.retries == 1
+    assert list(robot._pending) == ["/x.html"]
+
+
+def test_garbage_bytes_record_parse_error_and_abort(site, store):
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, store, APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80, ClientConfig())
+    state = robot._new_conn()
+    net.run()
+    state.parser.expect("GET")
+    state.outstanding.append("/x.html")
+    state._on_data(state.conn, b"GARBAGE\r\n\r\n")
+    assert any("parse error" in error for error in robot.result.errors)
+    assert not state.open
+
+
+# ----------------------------------------------------------------------
+# Mid-pipeline requeue ordering
+# ----------------------------------------------------------------------
+def test_requeue_preserves_pipeline_order_ahead_of_pending(site, store):
+    """Unanswered pipelined requests go back to the FRONT of the pending
+    queue, in their original order, ahead of never-sent URLs."""
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, store, APACHE)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80,
+                  ClientConfig(http_version=HTTP11, pipeline=True))
+    robot._started = True
+    robot._html_complete = True
+    for url in ("/a", "/b", "/c", "/d"):
+        robot._expected[url] = False
+    state = robot._new_conn()
+    state.outstanding.extend(["/a", "/b", "/c"])
+    state.open = False
+    robot._pending.append("/d")
+    robot._connection_gone(state)
+    assert list(robot._pending) == ["/a", "/b", "/c", "/d"]
+    assert robot.result.retries == 1
+    assert not state.outstanding
+
+
+# ----------------------------------------------------------------------
+# Bounded retries and terminal errors
+# ----------------------------------------------------------------------
+def test_retry_budget_exhaustion_is_terminal(site, store):
+    profile = faulty(abort_requests=tuple(range(1, 300)),
+                     abort_after_bytes=0)
+    config = ClientConfig(http_version=HTTP11, retry_budget=3,
+                          max_consecutive_failures=100,
+                          retry_backoff_base=0.01)
+    _, result = run_fetch(site, store, config, profile,
+                          follow_images=False)
+    assert not result.complete
+    assert "retry budget exhausted" in result.terminal_error
+    assert result.retries == 4      # the failure that broke the budget
+    assert any(error.startswith("terminal:") for error in result.errors)
+
+
+def test_consecutive_zero_progress_failures_are_terminal(site, store):
+    profile = faulty(abort_requests=tuple(range(1, 300)),
+                     abort_after_bytes=0)
+    config = ClientConfig(http_version=HTTP11, retry_budget=100,
+                          max_consecutive_failures=3,
+                          retry_backoff_base=0.01)
+    robot, result = run_fetch(site, store, config, profile,
+                              follow_images=False)
+    assert not result.complete
+    assert "consecutive connection failures" in result.terminal_error
+    assert result.recovery.count("client", "backoff") == 2
+
+
+def test_on_complete_fires_on_terminal_error(site, store):
+    profile = faulty(abort_requests=tuple(range(1, 300)),
+                     abort_after_bytes=0)
+    net = TwoHostNetwork(LAN)
+    SimHttpServer(net.sim, net.server, store, profile)
+    robot = Robot(net.sim, net.client, SERVER_HOST, 80,
+                  ClientConfig(max_consecutive_failures=2,
+                               follow_images=False))
+    done = []
+    robot.on_complete = done.append
+    robot.fetch(site.html_url)
+    net.run()
+    assert done and done[0].terminal_error is not None
+
+
+# ----------------------------------------------------------------------
+# Watchdog and downgrade ladder
+# ----------------------------------------------------------------------
+def test_watchdog_aborts_stalled_connection_and_recovers(site, store):
+    profile = faulty(stall_requests=(1,), stall_seconds=4.0)
+    config = ClientConfig(http_version=HTTP11, watchdog_timeout=3.0)
+    _, result = run_fetch(site, store, config, profile,
+                          follow_images=False)
+    assert result.complete
+    assert result.recovery.count("client", "watchdog") == 1
+    assert any("watchdog" in error for error in result.errors)
+    # The retry could only be answered after the stall released the
+    # server's serial CPU.
+    assert result.elapsed > 4.0
+
+
+def test_watchdog_stays_quiet_on_a_healthy_run(site, store):
+    config = ClientConfig(http_version=HTTP11, pipeline=True,
+                          watchdog_timeout=3.0)
+    _, result = run_fetch(site, store, config)
+    assert result.complete
+    assert result.recovery.count("client", "watchdog") == 0
+    assert len(result.responses) == 43
+
+
+def test_downgrade_ladder_steps_off_pipelining(site, store):
+    """A close-after-one server kills the pipeline once; the ladder
+    drops to serialized requests and the fetch completes."""
+    profile = faulty(close_after_one=True)
+    config = ClientConfig(http_version=HTTP11, pipeline=True,
+                          downgrade_after=1)
+    robot, result = run_fetch(site, store, config, profile)
+    assert result.complete
+    assert len(result.responses) == 43
+    assert result.recovery.count("client", "downgrade") >= 1
+    assert robot._downgrade_level >= 1
+
+
+# ----------------------------------------------------------------------
+# 5xx retry
+# ----------------------------------------------------------------------
+def test_503_is_retried_until_success(site, store):
+    profile = faulty(error_503_requests=(1,))
+    _, result = run_fetch(site, store, ClientConfig(), profile,
+                          follow_images=False)
+    assert result.complete
+    assert result.responses[site.html_url].status == 200
+    assert result.retries == 1
+    assert result.recovery.count("client", "retry-5xx") == 1
+
+
+def test_503_accepted_after_retry_budget(site, store):
+    profile = faulty(error_503_requests=tuple(range(1, 10)))
+    config = ClientConfig(retry_server_errors=3)
+    _, result = run_fetch(site, store, config, profile,
+                          follow_images=False)
+    assert result.complete
+    assert result.responses[site.html_url].status == 503
+    assert result.retries == 3

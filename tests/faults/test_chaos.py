@@ -1,0 +1,60 @@
+"""The chaos verb: grid shape, per-cell seeds, single-cell runs."""
+
+import io
+
+import pytest
+
+from repro.__main__ import main
+from repro.faults.chaos import _cell_seed, chaos_cells, run_chaos
+
+
+def test_grid_is_plans_by_modes_by_envs():
+    cells = chaos_cells()
+    assert len(cells) == 4 * 3 * 2
+    assert len(set(cells)) == len(cells)
+    assert cells[0][0] == "bursty-loss"
+    assert all(env in ("WAN", "PPP") for _, _, env in cells)
+
+
+def test_cell_seeds_are_stable_and_distinct():
+    seeds = {_cell_seed(1997, *cell) for cell in chaos_cells()}
+    assert len(seeds) == len(chaos_cells())
+    assert _cell_seed(1997, "bursty-loss", "pipelined", "WAN") == \
+        _cell_seed(1997, "bursty-loss", "pipelined", "WAN")
+    assert _cell_seed(1, "a", "b", "c") != _cell_seed(2, "a", "b", "c")
+
+
+def test_single_cell_run_reports_recovery(capsys):
+    out = io.StringIO()
+    code = run_chaos(seed=1997, only="flaky-server:pipelined:WAN",
+                     out=out)
+    text = out.getvalue()
+    assert code == 0
+    assert "flaky-server" in text
+    assert "server.503=" in text
+    assert "all 1 cells recovered every resource byte-identical" in text
+
+
+def test_only_wants_three_fields(capsys):
+    assert run_chaos(only="flaky-server") == 2
+    assert "PLAN:MODE:ENV" in capsys.readouterr().err
+
+
+def test_only_unknown_cell_is_usage_error(capsys):
+    assert run_chaos(only="no-such-plan:pipelined:WAN") == 2
+    assert "no chaos cell matches" in capsys.readouterr().err
+
+
+def test_chaos_cli_verb_runs_one_cell(capsys):
+    code = main(["chaos", "--seed", "1997",
+                 "--only", "bursty-loss:pipelined:WAN"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bursty-loss" in out
+
+
+@pytest.mark.slow
+def test_full_grid_recovers_everywhere():
+    out = io.StringIO()
+    assert run_chaos(seed=1997, out=out) == 0
+    assert "all 24 cells recovered" in out.getvalue()

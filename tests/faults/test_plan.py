@@ -1,0 +1,53 @@
+"""Fault plans and configs: registry, resolution, validation."""
+
+import pytest
+
+from repro.faults import (FAULT_PLANS, FaultPlan, LinkFaultConfig,
+                          ServerFaultConfig, resolve_fault_plan)
+
+
+def test_registry_contains_the_chaos_plans():
+    assert set(FAULT_PLANS) == {"bursty-loss", "wire-chaos",
+                                "flaky-server", "hostile-server"}
+    for name, plan in FAULT_PLANS.items():
+        assert plan.name == name
+        assert plan.link.active or plan.server.active
+
+
+def test_resolve_accepts_none_name_and_plan():
+    assert resolve_fault_plan(None) is None
+    plan = FAULT_PLANS["bursty-loss"]
+    assert resolve_fault_plan("bursty-loss") is plan
+    assert resolve_fault_plan(plan) is plan
+
+
+def test_resolve_unknown_name_lists_known_plans():
+    with pytest.raises(ValueError, match="bursty-loss"):
+        resolve_fault_plan("packet-gremlins")
+
+
+def test_default_configs_are_inactive():
+    assert not LinkFaultConfig().active
+    assert not ServerFaultConfig().active
+    assert not FaultPlan(name="noop", description="").link.active
+
+
+def test_link_config_validates_probabilities():
+    with pytest.raises(ValueError, match="loss_good"):
+        LinkFaultConfig(loss_good=1.5)
+    with pytest.raises(ValueError, match="reorder_max_delay"):
+        LinkFaultConfig(reorder_max_delay=0.0)
+
+
+def test_server_config_validates_byte_and_time_bounds():
+    with pytest.raises(ValueError, match="abort_after_bytes"):
+        ServerFaultConfig(abort_after_bytes=-1)
+    with pytest.raises(ValueError, match="stall_seconds"):
+        ServerFaultConfig(stall_seconds=-0.1)
+
+
+def test_each_fault_kind_activates_the_config():
+    assert LinkFaultConfig(p_good_to_bad=0.1, loss_bad=0.5).active
+    assert LinkFaultConfig(corrupt_rate=0.01).active
+    assert ServerFaultConfig(error_503_requests=(1,)).active
+    assert ServerFaultConfig(close_after_one=True).active

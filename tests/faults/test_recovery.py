@@ -1,0 +1,35 @@
+"""RecoveryLog: counts, bounded event list, summaries."""
+
+from repro.faults.recovery import MAX_EVENTS, RecoveryEvent, RecoveryLog
+
+
+def test_note_records_event_and_count():
+    log = RecoveryLog()
+    log.note(1.5, "link", "loss", "segment 3")
+    assert log.count("link", "loss") == 1
+    assert log.total == 1
+    assert len(log) == 1
+    assert log.events == [RecoveryEvent(1.5, "link", "loss", "segment 3")]
+
+
+def test_summary_is_sorted_and_clean_when_empty():
+    log = RecoveryLog()
+    assert log.summary() == "clean"
+    log.note(0.0, "server", "503")
+    log.note(0.1, "client", "retry")
+    log.note(0.2, "client", "retry")
+    assert log.summary() == "client.retry=2 server.503=1"
+
+
+def test_event_list_is_bounded_but_counts_stay_exact():
+    log = RecoveryLog()
+    for n in range(MAX_EVENTS + 50):
+        log.note(float(n), "link", "loss")
+    assert len(log.events) == MAX_EVENTS
+    assert log.truncated
+    assert log.total == MAX_EVENTS + 50
+    assert log.count("link", "loss") == MAX_EVENTS + 50
+
+
+def test_count_of_unseen_kind_is_zero():
+    assert RecoveryLog().count("client", "watchdog") == 0

@@ -1,0 +1,66 @@
+"""FaultyProfile: wrapping, and the scripted server faults end to end."""
+
+import dataclasses
+
+from repro.core import run_experiment
+from repro.faults import FAULT_PLANS, FaultyProfile, ServerFaultConfig
+from repro.server.profiles import APACHE, JIGSAW, ServerProfile
+
+
+def test_wrap_clones_every_base_field():
+    faults = ServerFaultConfig(error_503_requests=(2,))
+    wrapped = FaultyProfile.wrap(APACHE, faults)
+    assert isinstance(wrapped, ServerProfile)
+    assert wrapped.faults is faults
+    assert wrapped.name == "Apache+faults"
+    for field in dataclasses.fields(ServerProfile):
+        if field.name == "name":
+            continue
+        assert getattr(wrapped, field.name) == getattr(APACHE, field.name)
+
+
+def test_wrap_close_after_one_caps_connection_reuse():
+    wrapped = FaultyProfile.wrap(
+        JIGSAW, ServerFaultConfig(close_after_one=True))
+    assert wrapped.max_requests_per_connection == 1
+
+
+def test_plain_profiles_expose_no_faults():
+    assert getattr(APACHE, "faults", None) is None
+
+
+def test_flaky_server_faults_hit_and_are_recovered():
+    """The flaky-server plan's scripted ordinals fire exactly once each,
+    the robot retries, and the full site still arrives intact.  (The
+    client need not parse every 503: bytes queued behind a mid-pipeline
+    abort die with the connection and their requests are simply
+    requeued — so only the server-side counts are exact.)"""
+    plan = FAULT_PLANS["flaky-server"]
+    result = run_experiment("pipelined", "first-time", environment="WAN",
+                            profile="Apache", seed=0,
+                            faults="flaky-server")
+    assert len(result.fetch.responses) == 43
+    assert all(r.status in (200, 304)
+               for r in result.fetch.responses.values())
+    recovery = result.trace.recovery
+    assert recovery.count("server", "503") == \
+        len(plan.server.error_503_requests)
+    assert recovery.count("server", "abort") == \
+        len(plan.server.abort_requests)
+    assert recovery.count("client", "retry") >= \
+        len(plan.server.abort_requests)
+    assert result.retries >= len(plan.server.abort_requests)
+
+
+def test_hostile_server_forces_watchdog_and_downgrade():
+    result = run_experiment("pipelined", "first-time", environment="WAN",
+                            profile="Apache", seed=0,
+                            faults="hostile-server")
+    assert len(result.fetch.responses) == 43
+    recovery = result.trace.recovery
+    assert recovery.count("server", "stall") == 1
+    assert recovery.count("client", "watchdog") >= 1
+    assert recovery.count("client", "downgrade") >= 1
+    # The stall dominates the fetch time but the run still finishes.
+    assert result.elapsed > FAULT_PLANS["hostile-server"] \
+        .server.stall_seconds

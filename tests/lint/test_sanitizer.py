@@ -13,7 +13,8 @@ from repro.server.profiles import NAGLE_STALL_SERVER
 
 GOLDEN_DIR = (pathlib.Path(__file__).resolve().parents[1]
               / "simnet" / "fixtures")
-GOLDEN_TRACES = sorted(GOLDEN_DIR.glob("*.trace"))
+GOLDEN_TRACES = sorted(GOLDEN_DIR.glob("golden_*.trace"))
+LOSSY_TRACES = sorted(GOLDEN_DIR.glob("lossy_*.trace"))
 
 
 # ----------------------------------------------------------------------
@@ -102,6 +103,41 @@ def test_rst_rejected_in_clean_mode():
 def test_malformed_trace_line_raises():
     with pytest.raises(ValueError):
         parse_trace_text("not a trace line at all\n")
+
+
+# ----------------------------------------------------------------------
+# Lossy fixtures: captured under fault injection
+# ----------------------------------------------------------------------
+def test_lossy_fixture_exists():
+    assert len(LOSSY_TRACES) == 1
+
+
+@pytest.mark.parametrize("trace", LOSSY_TRACES, ids=lambda p: p.stem)
+def test_lossy_trace_validates_under_relaxed_config(trace):
+    text = trace.read_text(encoding="utf-8")
+    violations = validate_trace_text(
+        text, SanitizerConfig.for_faulty_run())
+    assert violations == []
+
+
+@pytest.mark.parametrize("trace", LOSSY_TRACES, ids=lambda p: p.stem)
+def test_lossy_trace_rejected_under_strict_config(trace):
+    """The relaxed config is load-bearing: the same capture trips the
+    clean-run invariants (server aborts show up as RSTs)."""
+    text = trace.read_text(encoding="utf-8")
+    violations = validate_trace_text(text, SanitizerConfig())
+    assert any(v.rule == "rst" for v in violations)
+
+
+def test_for_faulty_run_relaxes_only_fault_rules():
+    strict = SanitizerConfig()
+    relaxed = SanitizerConfig.for_faulty_run(strict)
+    assert relaxed.allow_rst and not strict.allow_rst
+    assert not relaxed.require_teardown and strict.require_teardown
+    assert relaxed.transit_bound > strict.transit_bound
+    # Structural invariants stay armed.
+    assert relaxed.mss == strict.mss
+    assert relaxed.nagle_client == strict.nagle_client
 
 
 # ----------------------------------------------------------------------

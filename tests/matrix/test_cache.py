@@ -80,6 +80,23 @@ def test_spec_changes_invalidate(cache):
     assert cache.get(spec.replace(
         client_overrides={"max_connections": 2}), 0) is None
     assert cache.get(spec.replace(verify=False), 0) is None
+    assert cache.get(spec.replace(faults="bursty-loss"), 0) is None
+
+
+def test_fault_counters_round_trip(cache):
+    """The robustness counters survive the cache like any other field."""
+    result = synthetic_result(dropped_loss=7, dropped_overflow=2,
+                              retransmissions=9, timeouts=1,
+                              fast_retransmits=4, checksum_drops=3)
+    spec = ExperimentSpec(faults="wire-chaos")
+    cache.put(spec, 0, result)
+    hydrated = cache.get(spec, 0)
+    assert hydrated.dropped_loss == 7
+    assert hydrated.dropped_overflow == 2
+    assert hydrated.retransmissions == 9
+    assert hydrated.timeouts == 1
+    assert hydrated.fast_retransmits == 4
+    assert hydrated.checksum_drops == 3
 
 
 def test_version_bump_invalidates(tmp_path):

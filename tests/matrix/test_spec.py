@@ -123,6 +123,31 @@ def test_replace_recanonicalizes():
 
 
 # ----------------------------------------------------------------------
+# Fault-plan dimension
+# ----------------------------------------------------------------------
+def test_fault_plan_canonicalizes_to_its_name():
+    from repro.faults import FAULT_PLANS
+    by_name = ExperimentSpec(faults="bursty-loss")
+    by_plan = ExperimentSpec(faults=FAULT_PLANS["bursty-loss"])
+    assert by_name.faults == "bursty-loss"
+    assert by_name == by_plan
+    assert hash(by_name) == hash(by_plan)
+
+
+def test_faults_appear_in_canonical_dict():
+    clean = ExperimentSpec()
+    chaotic = ExperimentSpec(faults="wire-chaos")
+    assert clean.canonical_dict()["faults"] is None
+    assert chaotic.canonical_dict()["faults"] == "wire-chaos"
+    assert clean.canonical_dict() != chaotic.canonical_dict()
+
+
+def test_unknown_fault_plan_rejected():
+    with pytest.raises(ValueError, match="unknown fault plan"):
+        ExperimentSpec(faults="packet-gremlins")
+
+
+# ----------------------------------------------------------------------
 # Matrix expansion
 # ----------------------------------------------------------------------
 def test_full_matrix_size():
