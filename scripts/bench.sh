@@ -7,6 +7,9 @@
 #   scripts/bench.sh                # 3 repetitions per cell, best kept
 #   scripts/bench.sh --quick        # 1 repetition (CI smoke mode)
 #   scripts/bench.sh --repeats 10   # more repetitions for stable numbers
+#   scripts/bench.sh --matrix       # 24-cell grid cold vs. warm
+#                                   # (artifact store + worker pool),
+#                                   # recorded under the 'matrix' key
 set -eu
 
 cd "$(dirname "$0")/.."

@@ -47,18 +47,28 @@ python -m repro chaos --seed 1997 --only flaky-server:http/1.1:WAN \
     > /dev/null
 
 # Benchmark smoke: one repetition per cell into a throwaway file, then
-# validate the emitted JSON against the schema the repo's tooling reads.
+# validate the emitted JSON against the schema the repo's tooling reads
+# and gate wall time against the committed baseline.  The threshold is
+# generous (25% by default) because --quick takes one sample per cell;
+# override with BENCH_REGRESSION_THRESHOLD=0.5 on noisy machines.
 BENCH_SMOKE=".repro-cache/check-bench.json"
 rm -f "$BENCH_SMOKE"
 python -m repro bench --quick --output "$BENCH_SMOKE" > /dev/null
 python - "$BENCH_SMOKE" <<'EOF'
-import json, sys
-from repro.perf import validate_bench_payload
+import json, os, sys
+from repro.perf import check_bench_regression, validate_bench_payload
 with open(sys.argv[1]) as fh:
     payload = json.load(fh)
 problems = validate_bench_payload(payload)
+if not problems and os.path.exists("BENCH_simnet.json"):
+    with open("BENCH_simnet.json") as fh:
+        committed = json.load(fh)
+    threshold = float(os.environ.get("BENCH_REGRESSION_THRESHOLD", "0.25"))
+    problems = check_bench_regression(payload["current"]["cells"],
+                                      committed["baseline"]["cells"],
+                                      threshold=threshold)
 for problem in problems:
-    print(f"check.sh: bench schema problem: {problem}", file=sys.stderr)
+    print(f"check.sh: bench problem: {problem}", file=sys.stderr)
 sys.exit(1 if problems else 0)
 EOF
 rm -f "$BENCH_SMOKE"

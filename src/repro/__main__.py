@@ -31,7 +31,11 @@ Commands
 
 ``table``, ``modem`` and ``report`` accept ``--jobs N`` (parallel
 worker processes), ``--cache`` (reuse results from ``.repro-cache/``)
-and ``--cache-dir PATH``.  All name resolution goes through the same
+and ``--cache-dir PATH``; these plus ``run`` and ``bench`` accept
+``--no-artifact-cache`` (disable the content-addressed encode memo
+under ``.repro-cache/artifacts/``).  ``bench --matrix`` times a
+24-cell grid cold vs. warm through the persistent worker pool.  All
+name resolution goes through the same
 :mod:`repro.core.registry` the library API uses, so every spelling
 accepted here ("pipelined", "1.1", "ppp", "jigsaw") works in code too.
 """
@@ -77,6 +81,14 @@ def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
                         help="cache directory (implies --cache)")
     parser.add_argument("--progress", action="store_true",
                         help="print per-cell progress to stderr")
+    _add_artifact_flag(parser)
+
+
+def _add_artifact_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-artifact-cache", action="store_true",
+                        help="disable the content-addressed artifact "
+                             "store (.repro-cache/artifacts/); every "
+                             "site build re-encodes from scratch")
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
@@ -154,7 +166,21 @@ def _cmd_site(_args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .perf import run_benchmark, validate_bench_payload
+    from .perf import (run_benchmark, run_matrix_benchmark,
+                       validate_bench_payload)
+    if args.matrix:
+        payload = run_matrix_benchmark(args.output, jobs=args.jobs)
+        problems = validate_bench_payload(payload)
+        if problems:
+            for problem in problems:
+                print(f"bench schema problem: {problem}", file=sys.stderr)
+            return 1
+        matrix = payload["matrix"]
+        print(f"wrote {args.output}: {matrix['cells']}-cell matrix, "
+              f"cold {matrix['cold_wall_time']:.2f} s, warm "
+              f"{matrix['warm_wall_time']:.2f} s "
+              f"({matrix['speedup_warm_vs_cold']:.2f}x)")
+        return 0
     payload = run_benchmark(args.output, quick=args.quick,
                             repeats=args.repeats)
     problems = validate_bench_payload(payload)
@@ -207,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--server", choices=("jigsaw", "apache"),
                      default="apache")
     run.add_argument("--seed", type=int, default=0)
+    _add_artifact_flag(run)
     run.set_defaults(fn=_cmd_run)
 
     modem = sub.add_parser("modem", help="the 8.2.1 modem experiment")
@@ -230,6 +257,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repetitions per cell (default 3, best kept)")
     bench.add_argument("--output", default="BENCH_simnet.json",
                        metavar="PATH", help="output JSON path")
+    bench.add_argument("--matrix", action="store_true",
+                       help="time a 24-cell grid cold vs. warm "
+                            "(artifact store + worker pool) and record "
+                            "it under the file's 'matrix' key")
+    bench.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for --matrix "
+                            "(default: one per CPU)")
+    _add_artifact_flag(bench)
     bench.set_defaults(fn=_cmd_bench)
 
     report = sub.add_parser("report",
@@ -248,6 +283,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_artifact_cache", False):
+        from .content import artifacts
+        artifacts.configure(enabled=False)
     return args.fn(args)
 
 

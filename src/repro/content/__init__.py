@@ -10,9 +10,13 @@ Everything the paper's "Changing Web Content" experiments need:
 * :mod:`~repro.content.css` — a CSS1 subset and the image→HTML+CSS
   replacement generator,
 * :mod:`~repro.content.transform` — the batch conversion and
-  replacement analyses behind the paper's content tables.
+  replacement analyses behind the paper's content tables,
+* :mod:`~repro.content.artifacts` — the content-addressed artifact
+  store memoizing the expensive encodes across processes and runs.
 """
 
+from .artifacts import (ENCODER_VERSION, ArtifactStats, ArtifactStore,
+                        artifact_key)
 from .css import (CssError, Declaration, ImageRole, REPLACEABLE_ROLES,
                   Replacement, Rule, Stylesheet, banner_replacement,
                   parse_css, replacement_for, shared_rule_bytes)
@@ -35,6 +39,7 @@ from .transform import (ConversionRecord, CssReplacementRecord,
                         convert_site_to_png, css_replacement_analysis)
 
 __all__ = [
+    "ENCODER_VERSION", "ArtifactStats", "ArtifactStore", "artifact_key",
     "CssError", "Declaration", "ImageRole", "REPLACEABLE_ROLES",
     "Replacement", "Rule", "Stylesheet", "banner_replacement", "parse_css",
     "replacement_for", "shared_rule_bytes",

@@ -25,7 +25,8 @@ from .registry import (MODE_ALIASES, MODES, PROFILES, TABLE_CELLS,
                        resolve_profile, resolve_scenario)
 from .render import GIF_DIMENSION_BYTES, RenderMetrics, measure_render
 from .runner import (AveragedResult, ExperimentError, RunResult,
-                     run_experiment, run_repeated)
+                     reset_default_site, run_experiment, run_repeated,
+                     warm_default_site)
 from .scenarios import FIRST_TIME, REVALIDATE, SCENARIOS, prefill_cache
 
 __all__ = [
@@ -38,6 +39,6 @@ __all__ = [
     "initial_tuning_client_config",
     "GIF_DIMENSION_BYTES", "RenderMetrics", "measure_render",
     "AveragedResult", "ExperimentError", "RunResult", "run_experiment",
-    "run_repeated",
+    "run_repeated", "warm_default_site", "reset_default_site",
     "FIRST_TIME", "REVALIDATE", "SCENARIOS", "prefill_cache",
 ]

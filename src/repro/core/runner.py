@@ -34,7 +34,8 @@ from .registry import (resolve_environment, resolve_mode, resolve_profile,
 from .scenarios import FIRST_TIME, REVALIDATE, prefill_cache
 
 __all__ = ["RunResult", "AveragedResult", "ExperimentError",
-           "run_experiment", "run_repeated"]
+           "run_experiment", "run_repeated", "warm_default_site",
+           "reset_default_site"]
 
 #: Default jitter: a small seeded variation standing in for the network
 #: fluctuations the paper averaged over five runs.
@@ -196,6 +197,29 @@ def _default_site_and_store() -> Tuple[MicroscapeSite, ResourceStore]:
         site = build_microscape_site()
         _DEFAULT_SITE_AND_STORE = (site, ResourceStore.from_site(site))
     return _DEFAULT_SITE_AND_STORE
+
+
+def warm_default_site() -> None:
+    """Pre-build the default site and resource store.
+
+    Pool warm-up hook: the parent calls this before forking workers (so
+    the built site is shared copy-on-write) and each worker's
+    initializer calls it on spawn, moving the one-time build cost off
+    the first dispatched unit's critical path.  Idempotent and cheap
+    when the artifact store is warm.
+    """
+    _default_site_and_store()
+
+
+def reset_default_site() -> None:
+    """Drop the process-wide site/store memo (and the build LRU).
+
+    For benchmarks and tests that need the next :func:`run_experiment`
+    to pay the true cold synthesis cost, as a fresh process would.
+    """
+    global _DEFAULT_SITE_AND_STORE
+    _DEFAULT_SITE_AND_STORE = None
+    build_microscape_site.cache_clear()
 
 
 def run_experiment(mode: Union[str, ProtocolMode],

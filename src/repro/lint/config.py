@@ -37,6 +37,9 @@ ALL_RULES: Dict[str, str] = {
     "mutable-default": "mutable default argument",
     "slots-hot-path": "class without __slots__ in a designated hot-path "
                       "module",
+    "pool-outside-matrix": "multiprocessing.Pool constructed outside "
+                           "repro.matrix (worker pools must go through "
+                           "MatrixRunner's managed, warmed pool)",
 }
 
 
@@ -78,6 +81,11 @@ DEFAULT_CONFIG = LintConfig(
         # else — including repro.realnet since its clock became
         # injectable — must go through an injected clock or sim.now.
         "wall-clock": ("repro/perf.py", "repro/matrix/runner.py"),
+        # The one sanctioned pool: MatrixRunner's persistent, warmed,
+        # chunk-dispatching pool.  Ad-hoc pools elsewhere would skip
+        # the artifact-store propagation and site warm-up that keep
+        # parallel runs fast and bit-identical.
+        "pool-outside-matrix": ("repro/matrix/runner.py",),
     },
     hot_path_modules=(
         "simnet/engine.py",
@@ -86,5 +94,9 @@ DEFAULT_CONFIG = LintConfig(
         "simnet/trace.py",
         # The fault injector runs once per delivered segment.
         "faults/injector.py",
+        # The artifact store sits on every encode path; the runner's
+        # pool machinery is touched once per dispatch chunk.
+        "content/artifacts.py",
+        "matrix/runner.py",
     ),
 )

@@ -33,6 +33,12 @@ tests and PR 2's speedup validation rest on):
     ``__slots__`` — both a memory/speed guarantee (PR 2) and a typo
     firewall: a misspelled attribute write raises instead of silently
     creating fresh state.
+``pool-outside-matrix``
+    ``multiprocessing.Pool`` constructed anywhere but
+    ``repro.matrix.runner``.  MatrixRunner's pool is persistent, warmed
+    (site prebuilt, artifact-store state propagated) and chunked; an
+    ad-hoc pool silently loses all three and re-pays site synthesis in
+    every worker.
 
 Rules are heuristic where full type inference would be needed; each one
 is precise enough that the repository itself lints clean without blanket
@@ -63,6 +69,9 @@ _ENTROPY_CALLS = {
     "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
     "secrets.randbelow", "secrets.choice", "secrets.randbits",
 }
+
+#: Worker-pool constructors that bypass MatrixRunner's managed pool.
+_POOL_CALLS = {"multiprocessing.Pool", "multiprocessing.pool.Pool"}
 
 #: Module-level ``random`` functions (global, import-order-fragile RNG).
 _MODULE_RANDOM_CALLS = {
@@ -201,6 +210,23 @@ class _DeterminismVisitor(ast.NodeVisitor):
                            "random.Random() without a seed draws from "
                            "the OS",
                            "pass an explicit seed: random.Random(seed)")
+            elif name in _POOL_CALLS:
+                self._emit(node, "pool-outside-matrix",
+                           f"{name}() constructed outside repro.matrix",
+                           "use repro.matrix.MatrixRunner(jobs=N) — its "
+                           "pool is persistent, site-warmed and "
+                           "artifact-store-aware")
+        elif isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "Pool" \
+                and isinstance(node.func.value, ast.Call) \
+                and _dotted_name(node.func.value.func, self.aliases) \
+                == "multiprocessing.get_context":
+            self._emit(node, "pool-outside-matrix",
+                       "multiprocessing.get_context(...).Pool() "
+                       "constructed outside repro.matrix",
+                       "use repro.matrix.MatrixRunner(jobs=N) — its "
+                       "pool is persistent, site-warmed and "
+                       "artifact-store-aware")
         self.generic_visit(node)
 
     # -- iteration order -----------------------------------------------

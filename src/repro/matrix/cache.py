@@ -18,10 +18,11 @@ fresh runs too, keeping cached and simulated results interchangeable.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 from .. import __version__
 from ..core.runner import RunResult
@@ -31,6 +32,10 @@ __all__ = ["DEFAULT_CACHE_DIR", "ResultCache",
            "result_to_payload", "result_from_payload"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Process-unique temp-file suffixes: the pid alone is not enough when
+#: two runners in one process (threads, nested reports) share a cache.
+_TMP_COUNTER = itertools.count()
 
 #: The measurement columns a cache entry preserves.
 RESULT_FIELDS = (
@@ -102,7 +107,15 @@ class ResultCache:
 
     def put(self, spec: ExperimentSpec, seed: int,
             result: RunResult) -> None:
-        """Store a unit's measurements atomically."""
+        """Store a unit's measurements atomically.
+
+        Each write lands in a uniquely named temp file (pid + in-process
+        counter) finished with an atomic :func:`os.replace`, so any
+        number of runners — threads or processes — sharing one cache
+        directory can race on the same unit: readers only ever see
+        complete entries, and the content-addressed key means every
+        racer writes identical measurements anyway.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path(spec, seed)
         entry = {
@@ -111,9 +124,26 @@ class ResultCache:
             "spec": spec.canonical_dict(),
             "result": result_to_payload(result),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
         tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
         os.replace(tmp, path)
+
+    def put_many(self, entries: Iterable[Tuple[ExperimentSpec, int,
+                                               RunResult]]) -> int:
+        """Store a batch of units; returns how many were written.
+
+        The batched flush the :class:`~repro.matrix.runner.MatrixRunner`
+        issues once per dispatch chunk instead of once per unit; each
+        entry keeps the same crash-safe write-temp-then-rename path, so
+        a crash mid-batch leaves previously flushed entries intact and
+        never a torn file.
+        """
+        written = 0
+        for spec, seed, result in entries:
+            self.put(spec, seed, result)
+            written += 1
+        return written
 
     # ------------------------------------------------------------------
     # Maintenance

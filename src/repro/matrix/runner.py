@@ -1,29 +1,50 @@
-"""Parallel execution of experiment grids.
+"""Parallel execution of experiment grids on a persistent warm pool.
 
 :class:`MatrixRunner` fans the (cell, seed) work units of one or more
 :class:`~repro.matrix.spec.ExperimentSpec` out over a
-``multiprocessing`` pool.  Each worker rebuilds the Microscape site and
+``multiprocessing`` pool.  Each worker builds the Microscape site and
 resource store locally (live simulation objects do not pickle; specs
 and numeric results do), so a unit's computation is byte-for-byte the
 same wherever it runs — ``jobs=4`` and the serial ``jobs=1`` fallback
 are guaranteed to produce identical numbers, and a content-addressed
 :class:`~repro.matrix.cache.ResultCache` can substitute for either.
 
+Three fixed costs are amortized instead of paid per unit or per call:
+
+* **The pool is persistent.**  One pool serves every ``run()`` /
+  ``run_many()`` call for the runner's lifetime (``close()`` or use the
+  runner as a context manager to release it); a six-table report no
+  longer forks and tears down a pool per table.
+* **Workers warm up on spawn.**  The parent pre-builds the default
+  site/store before forking (copy-on-write sharing where the platform
+  forks) and every worker's initializer builds it otherwise — served
+  from the content-addressed artifact store
+  (:mod:`repro.content.artifacts`) in O(read) when warm — so the first
+  dispatched unit measures simulation, not site synthesis.
+* **Dispatch is chunked.**  Units travel in chunks (one pickle/IPC
+  round-trip and one batched :meth:`ResultCache.put_many` flush per
+  chunk) instead of one message per unit.
+
 Observability: the runner accumulates :class:`MatrixStats` (per-cell
-wall time, cache hit/miss counters, simulation-run count) and emits a
-:class:`CellEvent` to an optional progress callback as each unit
-resolves.
+wall time, cache and artifact hit/miss counters, IPC batch and pickled-
+byte totals) and emits a :class:`CellEvent` to an optional progress
+callback as each unit resolves.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import multiprocessing
 import os
+import pickle
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
-from ..core.runner import AveragedResult, RunResult, run_experiment
+from ..content import artifacts
+from ..core.runner import (AveragedResult, RunResult, run_experiment,
+                           warm_default_site)
 from .cache import ResultCache
 from .spec import ExperimentSpec
 
@@ -31,6 +52,14 @@ __all__ = ["CellEvent", "MatrixStats", "MatrixRunner", "run_unit"]
 
 #: Progress callback signature.
 ProgressCallback = Callable[["CellEvent"], None]
+
+#: A unit in flight: (slot index, spec, seed).
+_Unit = Tuple[int, ExperimentSpec, int]
+
+#: Target dispatch chunks per worker per run_many call.  Cells vary 50x
+#: in cost (LAN revalidate vs PPP first-time), so several chunks per
+#: worker keep the tail balanced while still batching IPC.
+_CHUNKS_PER_WORKER = 4
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,6 +90,15 @@ class MatrixStats:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_time: float = 0.0
+    #: Artifact-store hits/misses observed while executing units and
+    #: during the parent-side pool warm-up build (the encode
+    #: memoization of :mod:`repro.content.artifacts`).
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    #: Dispatch chunks sent to the pool (0 for serial execution).
+    ipc_batches: int = 0
+    #: Bytes of pickled unit payload shipped to workers.
+    bytes_pickled: int = 0
     #: Simulation wall seconds per (cell label, seed).
     unit_wall_times: Dict[Tuple[str, int], float] = dataclasses.field(
         default_factory=dict)
@@ -69,19 +107,22 @@ class MatrixStats:
         return (f"{self.specs} cells, {self.units} runs requested: "
                 f"{self.sim_runs} simulated, {self.cache_hits} cache "
                 f"hits, {self.cache_misses} misses, "
-                f"{self.wall_time:.1f} s wall")
+                f"{self.wall_time:.1f} s wall; artifacts "
+                f"{self.artifact_hits} hit/{self.artifact_misses} miss; "
+                f"{self.ipc_batches} ipc batches, "
+                f"{self.bytes_pickled} bytes pickled")
 
 
 def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[RunResult, float]:
     """Execute one (cell, seed) unit; returns (result, wall seconds).
 
-    This is the function pool workers run.  The worker process holds no
-    simulation state from the parent: ``run_experiment`` resolves the
-    spec's names through the registry and builds (or reuses its own
-    process-local memo of) the site and resource store.  The returned
-    result carries the numeric measurement columns only (``fetch=None,
-    trace=None``) — the same shape the cache hydrates — so serial,
-    parallel and cached paths are interchangeable.
+    The worker process holds no simulation state from the parent:
+    ``run_experiment`` resolves the spec's names through the registry
+    and builds (or reuses its own process-local memo of) the site and
+    resource store.  The returned result carries the numeric
+    measurement columns only (``fetch=None, trace=None``) — the same
+    shape the cache hydrates — so serial, parallel and cached paths are
+    interchangeable.
     """
     start = time.perf_counter()
     result = run_experiment(
@@ -96,11 +137,37 @@ def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[RunResult, float]:
     return stripped, wall
 
 
-def _pool_entry(unit: Tuple[int, ExperimentSpec, int]
-                ) -> Tuple[int, RunResult, float]:
-    index, spec, seed = unit
-    result, wall = run_unit(spec, seed)
-    return index, result, wall
+def _pool_initializer(artifact_state: Dict[str, object],
+                      warm: bool) -> None:
+    """Configure and warm a pool worker at spawn time.
+
+    Applies the parent's artifact-store configuration (same blob
+    directory, same enabled flag) and pre-builds the default site so
+    the worker's first unit starts simulating immediately.  Under the
+    ``fork`` start method the parent's already-built site arrives via
+    copy-on-write and both steps are near-free no-ops.
+    """
+    artifacts.configure(**artifact_state)
+    if warm:
+        warm_default_site()
+
+
+def _pool_chunk_entry(chunk: Sequence[_Unit]
+                      ) -> Tuple[List[Tuple[int, RunResult, float]],
+                                 Tuple[int, int]]:
+    """Run a chunk of units in a worker; one IPC round-trip per chunk.
+
+    Returns the per-unit results plus the artifact-store (hits, misses)
+    delta this chunk produced in the worker, so the parent can
+    aggregate encode-memoization effectiveness across the pool.
+    """
+    stats = artifacts.get_store().stats
+    hits, misses = stats.hits, stats.misses
+    results = []
+    for index, spec, seed in chunk:
+        result, wall = run_unit(spec, seed)
+        results.append((index, result, wall))
+    return results, (stats.hits - hits, stats.misses - misses)
 
 
 class MatrixRunner:
@@ -117,17 +184,76 @@ class MatrixRunner:
     progress:
         Optional callback invoked with a :class:`CellEvent` as each
         unit resolves (cache hits first, then runs as they finish).
+    chunk_size:
+        Units per dispatch chunk.  ``None`` (the default) adapts to the
+        batch: roughly :data:`_CHUNKS_PER_WORKER` chunks per worker.
+    warm:
+        Pre-build the default Microscape site in the parent and in each
+        worker on spawn.  Disable only in tests that count builds.
+
+    The pool spawned for the first parallel ``run_many()`` is reused by
+    every later call; ``close()`` (or a ``with`` block) releases it.
     """
+
+    __slots__ = ("jobs", "cache", "progress", "stats", "chunk_size",
+                 "warm", "_pool", "_pool_workers")
 
     def __init__(self, jobs: Optional[int] = 1, *,
                  cache: Optional[ResultCache] = None,
-                 progress: Optional[ProgressCallback] = None) -> None:
+                 progress: Optional[ProgressCallback] = None,
+                 chunk_size: Optional[int] = None,
+                 warm: bool = True) -> None:
         if not jobs:
             jobs = os.cpu_count() or 1
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress
+        self.chunk_size = chunk_size
+        self.warm = warm
         self.stats = MatrixStats()
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_workers = 0
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+        """The persistent pool, spawning (and warming) it on first use."""
+        if self._pool is None:
+            if self.warm:
+                # Build before forking: fork-start workers inherit the
+                # site copy-on-write instead of each building their own.
+                store_stats = artifacts.get_store().stats
+                hits, misses = store_stats.hits, store_stats.misses
+                warm_default_site()
+                self.stats.artifact_hits += store_stats.hits - hits
+                self.stats.artifact_misses += store_stats.misses - misses
+            self._pool = multiprocessing.Pool(
+                processes=self.jobs,
+                initializer=_pool_initializer,
+                initargs=(artifacts.store_state(), self.warm))
+            self._pool_workers = self.jobs
+        return self._pool
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; a later run respawns)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_workers = 0
+
+    def __enter__(self) -> "MatrixRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            # Interpreter-teardown path: terminate without joining.
+            pool.terminate()
 
     # ------------------------------------------------------------------
     # Public API
@@ -165,15 +291,18 @@ class MatrixRunner:
                     self.stats.cache_misses += 1
                 pending.append(index)
 
-        for index, result, wall in self._execute(units, pending):
-            spec, seed = units[index]
-            slots[index] = result
-            completed += 1
-            self.stats.sim_runs += 1
-            self.stats.unit_wall_times[(spec.label, seed)] = wall
+        for batch in self._execute(units, pending):
             if self.cache is not None:
-                self.cache.put(spec, seed, result)
-            self._emit(spec, seed, "run", wall, completed, total)
+                self.cache.put_many(
+                    (units[index][0], units[index][1], result)
+                    for index, result, _ in batch)
+            for index, result, wall in batch:
+                spec, seed = units[index]
+                slots[index] = result
+                completed += 1
+                self.stats.sim_runs += 1
+                self.stats.unit_wall_times[(spec.label, seed)] = wall
+                self._emit(spec, seed, "run", wall, completed, total)
 
         self.stats.specs += len(specs)
         self.stats.units += total
@@ -190,24 +319,49 @@ class MatrixRunner:
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
-    def _execute(self, units, pending):
-        """Yield (index, result, wall) for each pending unit."""
+    def _execute(self, units, pending
+                 ) -> Iterator[List[Tuple[int, RunResult, float]]]:
+        """Yield batches of (index, result, wall) covering ``pending``.
+
+        Serial execution yields one single-unit batch at a time (cache
+        writes stay incremental); pool execution yields one batch per
+        dispatch chunk as workers complete them.
+        """
         if not pending:
             return
-        workers = min(self.jobs, len(pending))
-        if workers <= 1:
+        if self.jobs <= 1 or len(pending) <= 1:
+            store_stats = artifacts.get_store().stats
+            hits, misses = store_stats.hits, store_stats.misses
             for index in pending:
                 spec, seed = units[index]
                 result, wall = run_unit(spec, seed)
-                yield index, result, wall
+                yield [(index, result, wall)]
+            self.stats.artifact_hits += store_stats.hits - hits
+            self.stats.artifact_misses += store_stats.misses - misses
             return
         payload = [(index, units[index][0], units[index][1])
                    for index in pending]
-        with multiprocessing.Pool(processes=workers) as pool:
-            # chunksize=1: cells vary 50x in cost (LAN reval vs PPP
-            # first-time); coarse chunks would serialize the tail.
-            yield from pool.imap_unordered(_pool_entry, payload,
-                                           chunksize=1)
+        pool = self._ensure_pool()
+        chunks = list(self._chunked(payload))
+        self.stats.ipc_batches += len(chunks)
+        self.stats.bytes_pickled += sum(
+            len(pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL))
+            for chunk in chunks)
+        for results, (hits, misses) in pool.imap_unordered(
+                _pool_chunk_entry, chunks, chunksize=1):
+            self.stats.artifact_hits += hits
+            self.stats.artifact_misses += misses
+            yield results
+
+    def _chunked(self, payload: List[_Unit]) -> Iterator[List[_Unit]]:
+        """Split the pending units into dispatch chunks."""
+        size = self.chunk_size
+        if size is None:
+            size = math.ceil(len(payload)
+                             / (self.jobs * _CHUNKS_PER_WORKER))
+        size = max(1, int(size))
+        for start in range(0, len(payload), size):
+            yield payload[start:start + size]
 
     def _emit(self, spec, seed, status, wall, completed, total) -> None:
         if self.progress is not None:

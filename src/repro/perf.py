@@ -39,12 +39,15 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import shutil
 import sys
 import time
 from typing import Callable, Dict, List, Optional
 
 __all__ = ["PerfCounters", "BenchCell", "BENCH_SCHEMA_VERSION",
            "representative_cells", "run_benchmark",
+           "run_matrix_benchmark", "check_bench_regression",
            "validate_bench_payload"]
 
 #: Bumped whenever the shape of ``BENCH_simnet.json`` changes.
@@ -53,6 +56,17 @@ BENCH_SCHEMA_VERSION = 1
 #: Fields every per-cell entry in ``BENCH_simnet.json`` must carry.
 _CELL_REQUIRED_KEYS = ("wall_time", "runs", "events_processed",
                        "heap_peak", "segments", "cancels_avoided")
+
+#: Fields the optional ``matrix`` section must carry.
+_MATRIX_REQUIRED_KEYS = ("cells", "units", "jobs", "cold_wall_time",
+                         "warm_wall_time", "speedup_warm_vs_cold",
+                         "artifact_hits", "artifact_misses",
+                         "ipc_batches", "bytes_pickled")
+
+#: Throwaway artifact directory the cold matrix benchmark phase uses
+#: (cleared before timing so "cold" really re-encodes everything).
+_MATRIX_BENCH_ARTIFACTS = os.path.join(".repro-cache",
+                                       "bench-matrix-artifacts")
 
 
 @dataclasses.dataclass
@@ -182,6 +196,117 @@ def run_benchmark(output_path: str = "BENCH_simnet.json", *,
     return payload
 
 
+def run_matrix_benchmark(output_path: str = "BENCH_simnet.json", *,
+                         jobs: Optional[int] = None,
+                         warm_repeats: int = 3,
+                         log: Callable[[str], None] = lambda line: print(
+                             line, file=sys.stderr)) -> Dict[str, object]:
+    """Time a 24-cell grid cold vs. warm; record under ``matrix``.
+
+    The grid is the paper's shape — 4 protocol modes × {first-fetch,
+    revalidate} × {LAN, WAN, PPP} on Apache, one seed per cell.  The
+    **cold** phase measures the true end-to-end cost of the first sweep
+    in a fresh environment: a cleared artifact store, no worker pool —
+    so the timing includes pool spawn, per-worker site synthesis and
+    every calibration encode.  The **warm** phase re-runs the same grid
+    on the same (now warm) runner: persistent pool, warm artifact
+    store, warm per-process site memos.  Cold is inherently a single
+    sample; warm is re-run ``warm_repeats`` times with the best kept,
+    the same noise defence the per-cell benchmark uses.  No
+    :class:`ResultCache` is attached — both phases simulate every unit,
+    so the ratio isolates the fixed-cost amortization rather than
+    result caching.
+
+    The measured section is merged into ``output_path`` (baseline and
+    per-cell ``current`` numbers are preserved verbatim).
+    """
+    from .content import artifacts
+    from .matrix import ExperimentMatrix, MatrixRunner
+
+    grid = ExperimentMatrix(servers=("Apache",), seeds=(0,))
+    specs = grid.expand()
+    previous_store = artifacts.get_store()
+    shutil.rmtree(_MATRIX_BENCH_ARTIFACTS, ignore_errors=True)
+    artifacts.set_store(artifacts.ArtifactStore(_MATRIX_BENCH_ARTIFACTS))
+    # A fresh site memo in this process, so the cold phase's parent-side
+    # warm-up pays the real synthesis cost exactly once, like a fresh
+    # `python -m repro` invocation would.
+    from .core.runner import reset_default_site
+    reset_default_site()
+    runner = MatrixRunner(jobs=jobs)
+    try:
+        start = time.perf_counter()
+        runner.run_many(specs)
+        cold = time.perf_counter() - start
+        log(f"  matrix cold ({len(specs)} cells, jobs={runner.jobs}): "
+            f"{cold * 1000:8.2f} ms")
+        warm = None
+        for _ in range(max(1, warm_repeats)):
+            start = time.perf_counter()
+            runner.run_many(specs)
+            elapsed = time.perf_counter() - start
+            warm = elapsed if warm is None else min(warm, elapsed)
+        log(f"  matrix warm ({len(specs)} cells, jobs={runner.jobs}, "
+            f"best of {max(1, warm_repeats)}): {warm * 1000:8.2f} ms")
+        stats = runner.stats
+        measured = {
+            "cells": len(specs),
+            "units": stats.units,
+            "jobs": runner.jobs,
+            "cold_wall_time": cold,
+            "warm_wall_time": warm,
+            "speedup_warm_vs_cold": round(cold / warm, 3) if warm > 0
+            else 0.0,
+            "artifact_hits": stats.artifact_hits,
+            "artifact_misses": stats.artifact_misses,
+            "ipc_batches": stats.ipc_batches,
+            "bytes_pickled": stats.bytes_pickled,
+        }
+    finally:
+        runner.close()
+        artifacts.set_store(previous_store)
+        shutil.rmtree(_MATRIX_BENCH_ARTIFACTS, ignore_errors=True)
+    try:
+        with open(output_path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        payload = {"schema": BENCH_SCHEMA_VERSION, "quick": False,
+                   "baseline": {"cells": {}}, "current": {"cells": {}}}
+    payload["matrix"] = measured
+    with open(output_path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
+def check_bench_regression(current_cells: Dict[str, Dict[str, object]],
+                           reference_cells: Dict[str, Dict[str, object]],
+                           *, threshold: float = 0.25) -> List[str]:
+    """Wall-time regression gate; returns problem strings.
+
+    Compares each freshly measured cell against the same key in
+    ``reference_cells`` (normally the committed ``BENCH_simnet.json``
+    baseline section) and reports every cell more than ``threshold``
+    (fraction, default 25%) slower.  Cells present on only one side are
+    ignored — adding or retiring a mode must not break the gate.
+    """
+    problems = []
+    for key in sorted(set(current_cells) & set(reference_cells)):
+        current = current_cells[key].get("wall_time")
+        reference = reference_cells[key].get("wall_time")
+        if not isinstance(current, (int, float)) \
+                or not isinstance(reference, (int, float)) \
+                or reference <= 0:
+            continue
+        if current > reference * (1.0 + threshold):
+            problems.append(
+                f"cell {key!r} regressed: {current * 1000:.2f} ms vs "
+                f"reference {reference * 1000:.2f} ms "
+                f"(+{(current / reference - 1.0) * 100:.0f}%, "
+                f"threshold {threshold * 100:.0f}%)")
+    return problems
+
+
 def validate_bench_payload(payload: Dict[str, object]) -> List[str]:
     """Schema check for ``BENCH_simnet.json``; returns problem strings.
 
@@ -207,4 +332,17 @@ def validate_bench_payload(payload: Dict[str, object]) -> List[str]:
         wall = entry.get("wall_time")
         if not isinstance(wall, (int, float)) or wall <= 0:
             problems.append(f"cell {key!r} wall_time not positive")
+    matrix = payload.get("matrix")
+    if matrix is not None:
+        if not isinstance(matrix, dict):
+            problems.append("matrix section must be an object")
+        else:
+            for field in _MATRIX_REQUIRED_KEYS:
+                if field not in matrix:
+                    problems.append(f"matrix missing {field!r}")
+            for field in ("cold_wall_time", "warm_wall_time"):
+                wall = matrix.get(field)
+                if field in matrix and (
+                        not isinstance(wall, (int, float)) or wall <= 0):
+                    problems.append(f"matrix {field} not positive")
     return problems

@@ -17,6 +17,7 @@ import dataclasses
 import hashlib
 from typing import Dict, Iterable, Optional, Tuple
 
+from ..content import artifacts
 from ..content.microscape import MicroscapeSite
 from ..http import (HTTP10, HTTP11, Headers, MULTIPART_BOUNDARY,
                     PAPER_EPOCH, Request, Response, deflate_encode,
@@ -59,7 +60,12 @@ class Resource:
                modified_at: float = PAPER_EPOCH) -> "Resource":
         deflated = None
         if precompress and content_type.startswith("text/"):
-            candidate = deflate_encode(body)
+            # Precompression is content-addressed: the deflated variant
+            # of the 42 KB Microscape page is built once per cache
+            # lifetime, not once per worker process.
+            candidate = artifacts.get_store().memoize(
+                "deflate.text", {"sha256": hashlib.sha256(body).hexdigest()},
+                0, lambda: deflate_encode(body))
             if len(candidate) < len(body):
                 deflated = candidate
         return cls(url=url, content_type=content_type, body=body,

@@ -1,0 +1,240 @@
+"""Artifact store: keys, memoization, persistence, byte-identity."""
+
+import pickle
+
+import pytest
+
+from repro.content import artifacts
+from repro.content.artifacts import (ENCODER_VERSION, ArtifactStore,
+                                     artifact_key)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "artifacts")
+
+
+@pytest.fixture
+def default_store(tmp_path):
+    """Swap the process-default store for a throwaway one."""
+    previous = artifacts.get_store()
+    fresh = ArtifactStore(tmp_path / "default-artifacts")
+    artifacts.set_store(fresh)
+    yield fresh
+    artifacts.set_store(previous)
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def test_key_is_stable_across_param_ordering():
+    a = artifact_key("gif.icon", {"colors": 8, "speckle": 2}, 0)
+    b = artifact_key("gif.icon", {"speckle": 2, "colors": 8}, 0)
+    assert a == b
+    assert len(a) == 64 and int(a, 16) >= 0
+
+
+def test_key_is_sensitive_to_every_component():
+    base = artifact_key("gif.icon", {"colors": 8}, 0)
+    assert artifact_key("gif.photo", {"colors": 8}, 0) != base
+    assert artifact_key("gif.icon", {"colors": 9}, 0) != base
+    assert artifact_key("gif.icon", {"colors": 8}, 1) != base
+
+
+def test_version_bump_changes_every_key(monkeypatch):
+    before = artifact_key("gif.icon", {"colors": 8}, 0)
+    monkeypatch.setattr(artifacts, "ENCODER_VERSION", ENCODER_VERSION + 1)
+    assert artifact_key("gif.icon", {"colors": 8}, 0) != before
+
+
+# ----------------------------------------------------------------------
+# Memoization
+# ----------------------------------------------------------------------
+def test_memoize_calls_producer_once(store):
+    calls = []
+
+    def produce():
+        calls.append(1)
+        return b"payload"
+
+    assert store.memoize("b", {"x": 1}, 0, produce) == b"payload"
+    assert store.memoize("b", {"x": 1}, 0, produce) == b"payload"
+    assert len(calls) == 1
+    assert store.stats.misses == 1
+    assert store.stats.hits == 1
+    assert store.stats.memory_hits == 1
+
+
+def test_disk_round_trip_survives_new_store(tmp_path):
+    root = tmp_path / "artifacts"
+    ArtifactStore(root).memoize("b", {}, 0, lambda: b"persisted")
+    reopened = ArtifactStore(root)
+    blob = reopened.memoize("b", {}, 0, lambda: b"WRONG")
+    assert blob == b"persisted"
+    assert reopened.stats.disk_hits == 1
+    assert reopened.stats.bytes_read == len(b"persisted")
+
+
+def test_disabled_store_is_pure_pass_through(tmp_path):
+    store = ArtifactStore(tmp_path / "artifacts", enabled=False)
+    calls = []
+    for _ in range(2):
+        store.memoize("b", {}, 0, lambda: calls.append(1) or b"x")
+    assert len(calls) == 2
+    assert len(store) == 0
+    assert not (tmp_path / "artifacts").exists()
+
+
+def test_memory_only_store_persists_nothing():
+    store = ArtifactStore(None)
+    store.memoize("b", {}, 0, lambda: b"x")
+    assert store.path("00" * 32) is None
+    assert len(store) == 1                 # memory layer only
+    assert store.memoize("b", {}, 0, lambda: b"WRONG") == b"x"
+
+
+def test_lru_bound_is_respected(tmp_path):
+    store = ArtifactStore(None, max_memory_entries=2)
+    for i in range(5):
+        store.memoize("b", {"i": i}, 0, lambda i=i: bytes([i]))
+    assert len(store) == 2
+
+
+def test_memoize_object_round_trips_and_heals_corruption(store):
+    value = {"nested": [1, 2.5, "three"], "tuple": (4, 5)}
+    first = store.memoize_object("obj", {}, 0, lambda: value)
+    assert first == value
+    # Corrupt the blob on disk and drop the memory layer: the bad
+    # pickle must count as a miss and be overwritten, not raised.
+    key = artifact_key("obj", {}, 0)
+    store._memory.clear()
+    store.path(key).write_bytes(b"not a pickle")
+    healed = store.memoize_object("obj", {}, 0, lambda: value)
+    assert healed == value
+    assert pickle.loads(store.path(key).read_bytes()) == value
+
+
+def test_clear_removes_blobs(store):
+    for i in range(3):
+        store.memoize("b", {"i": i}, 0, lambda: b"x")
+    assert len(store) == 3
+    assert store.clear() == 3
+    assert len(store) == 0
+
+
+# ----------------------------------------------------------------------
+# Concurrent access / atomicity (two runners sharing one directory)
+# ----------------------------------------------------------------------
+def test_two_stores_share_one_directory(tmp_path):
+    root = tmp_path / "shared"
+    a, b = ArtifactStore(root), ArtifactStore(root)
+    a.memoize("b", {}, 0, lambda: b"from-a")
+    assert b.memoize("b", {}, 0, lambda: b"WRONG") == b"from-a"
+    assert b.stats.disk_hits == 1
+
+
+def test_racing_writers_leave_no_temp_debris(tmp_path):
+    """Interleaved put() on one key: last write wins, blob stays whole,
+    and every uniquely named temp file is consumed by os.replace."""
+    root = tmp_path / "shared"
+    a, b = ArtifactStore(root), ArtifactStore(root)
+    key = artifact_key("b", {}, 0)
+    for _ in range(10):
+        a.put(key, b"identical-content")
+        b.put(key, b"identical-content")
+    assert a.path(key).read_bytes() == b"identical-content"
+    leftovers = [p for p in root.rglob("*") if p.is_file()
+                 and not p.name.endswith(".blob")]
+    assert leftovers == []
+
+
+def test_concurrent_memoize_threads_agree(tmp_path):
+    import threading
+    store = ArtifactStore(tmp_path / "shared")
+    results = []
+
+    def worker(i):
+        blob = store.memoize("b", {}, 0, lambda: b"canonical")
+        results.append(blob)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert results == [b"canonical"] * 8
+    assert len(store) == 1
+
+
+# ----------------------------------------------------------------------
+# Default-store plumbing
+# ----------------------------------------------------------------------
+def test_configure_toggles_enabled(default_store):
+    assert artifacts.configure(enabled=False) is default_store
+    assert default_store.enabled is False
+    artifacts.configure(enabled=True)
+    assert default_store.enabled is True
+
+
+def test_configure_new_root_builds_new_store(default_store, tmp_path):
+    moved = artifacts.configure(root=tmp_path / "elsewhere")
+    assert moved is not default_store
+    assert moved.root == tmp_path / "elsewhere"
+
+
+def test_store_state_round_trips_through_configure(default_store):
+    state = artifacts.store_state()
+    assert state == {"enabled": True,
+                     "root": str(default_store.root)}
+    # What a pool worker does with the parent's snapshot:
+    worker_store = artifacts.configure(**state)
+    assert worker_store.enabled and worker_store.root == default_store.root
+
+
+def test_env_flag_disables_lazy_default(monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "0")
+    previous = artifacts.get_store()
+    artifacts.set_store(None)
+    try:
+        assert artifacts.get_store().enabled is False
+    finally:
+        artifacts.set_store(previous)
+
+
+# ----------------------------------------------------------------------
+# Byte-identity: the property the whole design rests on
+# ----------------------------------------------------------------------
+def test_site_build_is_byte_identical_warm_and_disabled(tmp_path):
+    from repro.content import build_microscape_site
+
+    def site_signature():
+        build_microscape_site.cache_clear()
+        site = build_microscape_site()
+        return ([(obj.url, obj.body) for obj in site.image_objects],
+                site.html.body)
+
+    previous = artifacts.get_store()
+    try:
+        artifacts.set_store(ArtifactStore(tmp_path / "artifacts"))
+        cold = site_signature()
+        artifacts.set_store(ArtifactStore(tmp_path / "artifacts"))
+        warm = site_signature()
+        assert artifacts.get_store().stats.disk_hits > 0
+        artifacts.set_store(ArtifactStore(None, enabled=False))
+        uncached = site_signature()
+    finally:
+        artifacts.set_store(previous)
+        build_microscape_site.cache_clear()
+    assert cold == warm == uncached
+
+
+def test_deflate_precompression_is_memoized(default_store):
+    from repro.server.static import Resource
+    body = b"<html>" + b"x" * 4096 + b"</html>"
+    first = Resource.create("/page.html", "text/html", body)
+    misses = default_store.stats.misses
+    second = Resource.create("/page.html", "text/html", body)
+    assert first.deflate_body == second.deflate_body
+    assert first.deflate_body is not None
+    assert default_store.stats.misses == misses   # second hit the memo

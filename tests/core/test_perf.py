@@ -6,8 +6,9 @@ import pathlib
 import pytest
 
 from repro.core.runner import run_experiment, run_repeated
-from repro.perf import (BENCH_SCHEMA_VERSION, representative_cells,
-                        run_benchmark, validate_bench_payload)
+from repro.perf import (BENCH_SCHEMA_VERSION, check_bench_regression,
+                        representative_cells, run_benchmark,
+                        run_matrix_benchmark, validate_bench_payload)
 
 
 def test_trace_summary_carries_perf_counters():
@@ -68,6 +69,72 @@ def test_validate_bench_payload_flags_problems():
     assert any("wall_time" in p for p in validate_bench_payload(zero_wall))
 
 
+def test_validate_matrix_section():
+    good = {
+        "schema": BENCH_SCHEMA_VERSION,
+        "baseline": {"cells": {"m|e": {"wall_time": 0.01}}},
+        "current": {"cells": {"m|e": {
+            "wall_time": 0.005, "runs": 3, "events_processed": 100,
+            "heap_peak": 10, "segments": 50, "cancels_avoided": 5}}},
+        "matrix": {"cells": 24, "units": 24, "jobs": 4,
+                   "cold_wall_time": 1.2, "warm_wall_time": 0.4,
+                   "speedup_warm_vs_cold": 3.0, "artifact_hits": 0,
+                   "artifact_misses": 151, "ipc_batches": 16,
+                   "bytes_pickled": 9000},
+    }
+    assert validate_bench_payload(good) == []
+    no_matrix = {k: v for k, v in good.items() if k != "matrix"}
+    assert validate_bench_payload(no_matrix) == []    # section optional
+    missing = json.loads(json.dumps(good))
+    del missing["matrix"]["speedup_warm_vs_cold"]
+    assert any("speedup_warm_vs_cold" in p
+               for p in validate_bench_payload(missing))
+    zero_warm = json.loads(json.dumps(good))
+    zero_warm["matrix"]["warm_wall_time"] = 0
+    assert any("warm_wall_time" in p
+               for p in validate_bench_payload(zero_warm))
+    not_object = dict(good, matrix=[1, 2])
+    assert any("object" in p for p in validate_bench_payload(not_object))
+
+
+def test_check_bench_regression():
+    reference = {"a": {"wall_time": 0.100}, "b": {"wall_time": 0.100},
+                 "retired": {"wall_time": 0.100}}
+    current = {"a": {"wall_time": 0.110},        # +10%: fine
+               "b": {"wall_time": 0.200},        # +100%: regressed
+               "new-cell": {"wall_time": 9.9}}   # no reference: ignored
+    problems = check_bench_regression(current, reference)
+    assert len(problems) == 1 and "'b'" in problems[0]
+    # A looser threshold lets the same measurement through.
+    assert check_bench_regression(current, reference, threshold=1.5) == []
+    # Malformed reference entries are skipped, not crashed on.
+    assert check_bench_regression({"a": {"wall_time": 1.0}},
+                                  {"a": {"wall_time": 0}}) == []
+    assert check_bench_regression({"a": {}}, {"a": {"wall_time": 1}}) == []
+
+
+@pytest.mark.slow
+def test_run_matrix_benchmark_records_and_validates(tmp_path):
+    out = tmp_path / "bench.json"
+    out.write_text(json.dumps({
+        "schema": BENCH_SCHEMA_VERSION,
+        "baseline": {"cells": {"m|e": {"wall_time": 0.01}}},
+        "current": {"cells": {"m|e": {
+            "wall_time": 0.005, "runs": 3, "events_processed": 100,
+            "heap_peak": 10, "segments": 50, "cancels_avoided": 5}}},
+    }))
+    payload = run_matrix_benchmark(str(out), jobs=2,
+                                   log=lambda line: None)
+    assert validate_bench_payload(payload) == []
+    matrix = payload["matrix"]
+    assert matrix["cells"] == 24
+    assert matrix["warm_wall_time"] < matrix["cold_wall_time"]
+    # The merge preserved the sections bench --matrix does not own.
+    on_disk = json.loads(out.read_text())
+    assert on_disk["baseline"]["cells"] == {"m|e": {"wall_time": 0.01}}
+    assert on_disk["matrix"]["cells"] == 24
+
+
 @pytest.mark.slow
 def test_run_benchmark_writes_and_preserves_baseline(tmp_path):
     out = tmp_path / "bench.json"
@@ -92,3 +159,6 @@ def test_committed_bench_file_is_valid():
     # The PR-2 acceptance bar, recorded in the committed artifact.
     cell = payload["current"]["cells"]["HTTP/1.1 Pipelined|WAN"]
     assert cell["speedup_vs_baseline"] >= 2.0
+    # This PR's acceptance bar: a warm 24-cell matrix sweep (persistent
+    # pool + artifact store) at least 2x faster than cold.
+    assert payload["matrix"]["speedup_warm_vs_cold"] >= 2.0

@@ -1,0 +1,8 @@
+"""Fixture: multiprocessing.Pool construction outside repro.matrix."""
+
+import multiprocessing
+
+
+def fan_out(work):
+    with multiprocessing.Pool(processes=4) as pool:
+        return pool.map(len, work)

@@ -19,6 +19,7 @@ CORPUS = {
     "bad_float_clock_compare.py": "float-clock-compare",
     "bad_mutable_default.py": "mutable-default",
     "bad_missing_slots.py": "slots-hot-path",
+    "bad_pool_outside_matrix.py": "pool-outside-matrix",
 }
 
 
@@ -106,6 +107,18 @@ def test_allowlist_exempts_file():
     source = "import time\nt = time.time()\n"
     assert lint_source(source, "pkg/timing/bench.py", config) == []
     assert len(lint_source(source, "pkg/other.py", config)) == 1
+
+
+def test_pool_via_get_context_flagged():
+    source = ("import multiprocessing\n"
+              "p = multiprocessing.get_context('fork').Pool(2)\n")
+    assert [f.rule for f in lint_source(source)] == ["pool-outside-matrix"]
+
+
+def test_matrix_runner_pool_is_allowlisted():
+    source = "import multiprocessing\np = multiprocessing.Pool(2)\n"
+    path = "src/repro/matrix/runner.py"
+    assert lint_source(source, path, DEFAULT_CONFIG) == []
 
 
 def test_dataclass_exempt_from_slots_rule():

@@ -124,6 +124,72 @@ def test_clear_and_len(cache):
     assert cache.get(ExperimentSpec(), 0) is None
 
 
+def test_put_many_counts_and_round_trips(cache):
+    entries = [(ExperimentSpec(), seed, synthetic_result(packets=400 + seed))
+               for seed in range(4)]
+    assert cache.put_many(entries) == 4
+    assert cache.put_many([]) == 0
+    for seed in range(4):
+        assert cache.get(ExperimentSpec(), seed).packets == 400 + seed
+
+
+def test_two_caches_share_one_directory(tmp_path):
+    """Two runner processes pointed at one cache directory interoperate
+    (writes are temp-then-rename, so readers never see partial JSON)."""
+    a = ResultCache(tmp_path / "shared")
+    b = ResultCache(tmp_path / "shared")
+    spec = ExperimentSpec()
+    a.put(spec, 0, synthetic_result(packets=111))
+    hydrated = b.get(spec, 0)
+    assert hydrated is not None and hydrated.packets == 111
+    b.put(spec, 0, synthetic_result(packets=222))   # last write wins
+    assert a.get(spec, 0).packets == 222
+
+
+def test_racing_writers_leave_no_temp_debris(tmp_path):
+    """Interleaved put() from two caches on the same keys: every entry
+    parses, and every uniquely named temp file was consumed by the
+    atomic rename."""
+    root = tmp_path / "shared"
+    a, b = ResultCache(root), ResultCache(root)
+    spec = ExperimentSpec()
+    for _ in range(5):
+        for seed in range(3):
+            a.put(spec, seed, synthetic_result())
+            b.put(spec, seed, synthetic_result())
+    for seed in range(3):
+        assert a.get(spec, seed) is not None
+    leftovers = [p for p in root.rglob("*") if p.is_file()
+                 and not p.name.endswith(".json")]
+    assert leftovers == []
+
+
+def test_concurrent_threads_share_one_cache(tmp_path):
+    import threading
+    cache = ResultCache(tmp_path / "shared")
+    spec = ExperimentSpec()
+    errors = []
+
+    def worker(seed):
+        try:
+            for _ in range(5):
+                cache.put(spec, seed, synthetic_result(packets=seed))
+                hydrated = cache.get(spec, seed)
+                assert hydrated is not None
+                assert hydrated.packets == seed
+        except Exception as exc:          # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(seed,))
+               for seed in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(cache) == 6
+
+
 def test_entries_record_their_identity(cache):
     """Cache files carry the spec they were keyed from (debuggability)."""
     spec = ExperimentSpec(mode="1.0", environment="ppp")

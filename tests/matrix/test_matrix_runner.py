@@ -133,6 +133,69 @@ def test_jobs_zero_means_cpu_count():
     assert MatrixRunner(jobs=None).jobs >= 1
 
 
+def test_pool_persists_across_run_many_calls():
+    specs = [ExperimentSpec(seeds=(0, 1), **FAST),
+             ExperimentSpec(seeds=(0, 1),
+                            **{**FAST, "mode": "HTTP/1.1"})]
+    with MatrixRunner(jobs=2) as runner:
+        runner.run_many(specs)
+        pool = runner._pool
+        assert pool is not None
+        runner.run_many(specs)
+        assert runner._pool is pool        # same workers, no respawn
+    assert runner._pool is None            # __exit__ closed it
+
+
+def test_parallel_run_populates_ipc_stats():
+    specs = [ExperimentSpec(seeds=(s,), **FAST) for s in range(4)]
+    with MatrixRunner(jobs=2) as runner:
+        runner.run_many(specs)
+        assert runner.stats.ipc_batches > 0
+        assert runner.stats.bytes_pickled > 0
+        assert "ipc" in runner.stats.summary()
+
+
+def test_serial_run_has_no_ipc():
+    runner = MatrixRunner(jobs=1)
+    runner.run(ExperimentSpec(seeds=(0,), **FAST))
+    assert runner.stats.ipc_batches == 0
+    assert runner.stats.bytes_pickled == 0
+
+
+def test_close_is_idempotent():
+    runner = MatrixRunner(jobs=2)
+    runner.run_many([ExperimentSpec(seeds=(0,), **FAST)])
+    runner.close()
+    runner.close()
+    assert runner._pool is None
+    # A closed runner can still run serially-after-close via a new pool.
+    runner.run_many([ExperimentSpec(seeds=(1,), **FAST)])
+    runner.close()
+
+
+def test_explicit_chunk_size_still_bit_identical():
+    spec = ExperimentSpec(seeds=(0, 1, 2, 3), **FAST)
+    with MatrixRunner(jobs=2, chunk_size=1) as fine, \
+            MatrixRunner(jobs=2, chunk_size=4) as coarse:
+        assert_results_identical(fine.run(spec), coarse.run(spec))
+
+
+def test_cached_parallel_batches_flush_once_per_chunk(tmp_path):
+    """Batched put_many keeps the cache complete: a second runner sees
+    every unit the first one simulated."""
+    cache = ResultCache(tmp_path / "cache")
+    specs = [ExperimentSpec(seeds=(0, 1), **FAST),
+             ExperimentSpec(seeds=(0, 1),
+                            **{**FAST, "server": "Jigsaw"})]
+    with MatrixRunner(jobs=2, cache=cache) as first:
+        first.run_many(specs)
+    assert len(cache) == 4
+    second = MatrixRunner(cache=cache)
+    second.run_many(specs)
+    assert second.stats.sim_runs == 0
+    assert second.stats.cache_hits == 4
+
+
 @pytest.mark.slow
 def test_full_table_parallel_equals_serial():
     """Whole-table sweep: Table 4's grid, parallel vs serial."""
