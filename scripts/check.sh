@@ -38,12 +38,29 @@ grep -q " 0 simulated" "$SMOKE_OUT" \
     || { echo "check.sh: cached report re-ran simulations" >&2; exit 1; }
 rm -rf "$SMOKE_CACHE"
 
-# Chaos smoke: two fault-injected cells (one link plan, one server
-# plan) must still retrieve the full site byte-identical within the
-# robot's retry budget.  The full 24-cell grid is the slow-marked test.
+# Post-paper protocol modes: one sanitized WAN cell per mode.  The
+# --sanitize flag runs the live TCP sanitizer, the mode's trace rules
+# (connection counts, origin ports), and — for the MUX modes — the
+# frame-stream validator over every frame on the wire.
+python -m repro run --mode mux --environment WAN --sanitize > /dev/null
+python -m repro run --mode mux-push --environment WAN --sanitize \
+    > /dev/null
+python -m repro run --mode sharded --environment WAN --sanitize \
+    > /dev/null
+
+# Chaos smoke: fault-injected cells (one link plan, one server plan,
+# one cell per post-paper mode) must still retrieve the full site
+# byte-identical within the robot's retry budget.  The full 48-cell
+# grid is the slow-marked test.
 python -m repro chaos --seed 1997 --only bursty-loss:pipelined:WAN \
     > /dev/null
 python -m repro chaos --seed 1997 --only flaky-server:http/1.1:WAN \
+    > /dev/null
+python -m repro chaos --seed 1997 --only bursty-loss:mux:WAN \
+    > /dev/null
+python -m repro chaos --seed 1997 --only wire-chaos:mux-push:WAN \
+    > /dev/null
+python -m repro chaos --seed 1997 --only hostile-server:sharded:WAN \
     > /dev/null
 
 # Benchmark smoke: one repetition per cell into a throwaway file, then

@@ -67,16 +67,60 @@ recovery cost — drops split by cause, TCP retransmissions / RTO fires /
 fast retransmits, checksum discards, and client-level retries.
 
 The full sweep is `python -m repro chaos`: every fault plan × protocol
-mode (pipelined, persistent, HTTP/1.0) × environment (WAN, PPP), 24
-cells, deterministic in `--seed` (default 1997; per-cell seeds are
-derived from the cell coordinates, so no two cells share a fault
-schedule).  A failing cell reproduces in isolation from its printed
-coordinates alone:
+mode (pipelined, persistent, HTTP/1.0, MUX, MUX push, sharded) ×
+environment (WAN, PPP), 48 cells, deterministic in `--seed` (default
+1997; per-cell seeds are derived from the cell coordinates, so no two
+cells share a fault schedule).  A failing cell reproduces in isolation
+from its printed coordinates alone:
 
     python -m repro chaos --seed 1997 --only bursty-loss:pipelined:WAN
 
 With `faults=None` (the default everywhere) the injector is never
-installed and the four golden WAN traces remain byte-identical.
+installed and the seven golden WAN traces remain byte-identical.
+
+## Modern protocol modes
+
+The paper closes by pointing past pipelining — at multiplexed
+transports ("HTTP-NG"), server push, and the workarounds deployed
+while the world waited.  Three post-paper modes put numbers on that
+future against the same 1997 networks (the "Modern protocol modes"
+table below; also `python -m repro report`):
+
+* **HTTP/MUX** (`--mode mux`) — one TCP connection carrying
+  HTTP/2-shaped frames: every request opens an odd-numbered stream,
+  responses interleave as flow-controlled `DATA` frames (16 KB initial
+  window, 4 KB max frame), so the 35 KB hero GIF no longer blocks the
+  small images behind it.
+* **HTTP/MUX Push** (`--mode mux-push`) — after a 200 HTML response
+  the server speculatively promises and frames all 42 inline GIFs on
+  even-numbered streams; the client refuses duplicates with `CANCEL`
+  (cancel-on-duplicate), so a warm cache costs only a promise frame,
+  never a transfer.
+* **HTTP/1.1 Sharded x4** (`--mode sharded`) — the late-90s workaround
+  the MUX modes obsolete: content hashed across 4 origins (ports
+  80–83), 2 redundant persistent connections each.  More parallelism,
+  8 slow-start ramps, and 8 connections' worth of per-packet overhead.
+
+The headline matches the history: on the WAN, MUX framing costs about
+as much as disciplined pipelining buys (the frame headers are the %ov
+delta), push saves the request packets on first visits and stays
+dormant on revalidation, and sharding wins only where parallel server
+CPU beats connection overhead (the LAN) — which is why HTTP/2
+multiplexes one connection instead.
+
+Modes are an open registry, not an enum: a transport plugs in with
+
+    from repro.core.modes import ProtocolMode
+    from repro.core.registry import register_mode
+    register_mode(ProtocolMode("HTTP/FANCY", HTTP11, transport=...),
+                  aliases=("fancy",), environments=("LAN", "WAN"))
+
+and immediately resolves everywhere a mode is named — `run_experiment`,
+`ExperimentMatrix`, the chaos planner, the sanitizer (each transport
+contributes its own trace rules: "exactly one connection" for MUX,
+"every origin port dialed, ≤2 handshakes each" for sharding, frame
+legality and flow-control accounting for both MUX modes), and the
+report tables.
 
 ## Known deviations
 

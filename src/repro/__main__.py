@@ -117,7 +117,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     try:
         result = run_experiment(args.mode, args.scenario,
                                 environment=args.environment,
-                                profile=args.server, seed=args.seed)
+                                profile=args.server, seed=args.seed,
+                                sanitize=args.sanitize)
     except UnknownNameError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -224,7 +225,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment cell")
     run.add_argument("--mode", default="pipelined",
-                     help="http/1.0 | http/1.1 | pipelined | compressed")
+                     help="http/1.0 | http/1.1 | pipelined | compressed "
+                          "| mux | mux-push | sharded (any registered "
+                          "mode name or alias)")
     run.add_argument("--scenario", choices=("first-time", "revalidate"),
                      default="first-time")
     run.add_argument("--environment", choices=("LAN", "WAN", "PPP",
@@ -233,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--server", choices=("jigsaw", "apache"),
                      default="apache")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--sanitize", action="store_true",
+                     help="validate the run live against the TCP "
+                          "invariants and the mode's trace rules "
+                          "(frame legality for MUX modes)")
     _add_artifact_flag(run)
     run.set_defaults(fn=_cmd_run)
 

@@ -1,0 +1,309 @@
+"""The MUX client: multiplexed streams over one TCP connection.
+
+Subclasses :class:`~repro.client.robot.Robot` so the whole hardening
+surface — retry budget, exponential backoff, watchdog, 5xx re-issue,
+incremental HTML discovery — is shared; only the wire layer changes:
+
+* every request is a ``HEADERS`` frame on a fresh odd-numbered stream
+  (batched through the same :class:`~repro.client.pipeline.
+  OutputBuffer` the pipelined mode tunes);
+* response heads arrive as ``HEADERS`` frames and bodies as
+  flow-controlled ``DATA`` frames, interleaved across streams; the
+  client replenishes each stream's credit immediately with
+  ``WINDOW_UPDATE``, so the per-stream window bounds how far any one
+  response can get ahead of the client;
+* a ``PUSH_PROMISE`` registers a speculative server push on an
+  even-numbered stream — unless the URL is already requested or
+  delivered, in which case the client refuses it with ``CANCEL``
+  (cancel-on-duplicate);
+* a dead connection re-queues every unfinished stream — including
+  promised-but-unfinished pushes — through the robot's normal
+  recovery path, which re-issues them as plain requests.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from ..http import ParseError, Request, Response, ResponseParser
+from ..http.framing import (F_CANCEL, F_DATA, F_END_STREAM, F_HEADERS,
+                            F_PUSH_PROMISE, F_WINDOW_UPDATE,
+                            FRAME_HEADER_SIZE, Frame, FramingError,
+                            FrameReader, INITIAL_STREAM_WINDOW,
+                            encode_frame, encode_window_update)
+from ..simnet.tcp import TcpConnection
+from .pipeline import FlowWindow, OutputBuffer
+from .robot import FIRST_TIME, Robot
+
+__all__ = ["MuxClient"]
+
+
+class _MuxStream:
+    """Client-side state of one stream (requested or pushed)."""
+
+    __slots__ = ("url", "parser", "pushed", "recv_window")
+
+    def __init__(self, url: str, pushed: bool) -> None:
+        self.url = url
+        self.parser = ResponseParser()
+        self.pushed = pushed
+        self.recv_window = FlowWindow(INITIAL_STREAM_WINDOW)
+
+
+class _MuxConnState:
+    """One MUX connection: frame reader, output buffer, open streams.
+
+    Exposes the same attribute surface the robot's recovery machinery
+    touches on a plain connection (``outstanding``, ``popped``,
+    ``open``, ``buffer``, watchdog fields), so `_connection_gone`,
+    `_watchdog_fire` and `_check_complete` work unchanged.
+    """
+
+    def __init__(self, robot: "MuxClient",
+                 shard: Optional[int] = None) -> None:
+        self.robot = robot
+        self.shard = shard
+        self.conn: TcpConnection = robot.stack.connect(
+            robot.server_host, robot.server_port)
+        self.conn.set_nodelay(robot.config.nodelay)
+        self.reader = FrameReader()
+        self.buffer = OutputBuffer(
+            robot.sim, self.conn, size=robot.config.output_buffer_size,
+            flush_timeout=robot.config.flush_timeout)
+        #: Stream id → stream, both requested (odd) and pushed (even).
+        self.streams: Dict[int, _MuxStream] = {}
+        #: URLs with an open client-initiated stream, in request order.
+        self.outstanding: Deque[str] = deque()
+        self.popped = 0          # responses completed on this connection
+        self.open = True
+        self.next_stream = 1
+        self.watchdog_event = None
+        self.deadline = 0.0
+        self.conn.on_data = self._on_data
+        self.conn.on_eof = self._on_eof
+        self.conn.on_reset = self._on_reset
+
+    # ------------------------------------------------------------------
+    def send_request(self, url: str, request: Request,
+                     flush: bool) -> None:
+        sid = self.next_stream
+        self.next_stream += 2
+        stream = _MuxStream(url, pushed=False)
+        stream.parser.expect(request.method)
+        stream.parser.on_body_chunk = (
+            lambda response, chunk:
+            self.robot._on_mux_body_chunk(stream, response, chunk))
+        self.streams[sid] = stream
+        self.outstanding.append(url)
+        payload = request.to_bytes()
+        self.robot.result.request_bytes += \
+            len(payload) + FRAME_HEADER_SIZE
+        self.robot.result.requests_sent += 1
+        self.robot._send_frame(self, F_HEADERS, sid, payload,
+                               buffered=True, flush=flush)
+        self.robot._arm_watchdog(self)
+
+    def cancel_watchdog(self) -> None:
+        if self.watchdog_event is not None:
+            self.watchdog_event.cancel()
+            self.watchdog_event = None
+
+    def collect_unfinished(self) -> None:
+        """Move promised-but-unfinished pushes into ``outstanding`` so
+        the robot's recovery re-issues them as plain requests."""
+        for stream in self.streams.values():
+            if stream.pushed and stream.url not in self.outstanding:
+                self.outstanding.append(stream.url)
+        self.streams.clear()
+
+    # ------------------------------------------------------------------
+    def _on_data(self, _conn: TcpConnection, data: bytes) -> None:
+        timeout = self.robot.config.watchdog_timeout
+        if timeout is not None:
+            self.deadline = self.robot.sim.now + timeout
+        try:
+            frames = self.reader.feed(data)
+        except FramingError as exc:
+            self.robot.result.errors.append(f"framing error: {exc}")
+            self.conn.abort()
+            self.open = False
+            return
+        for frame in frames:
+            self.robot._on_frame(self, frame)
+            if not self.open:
+                break
+
+    def _on_eof(self, _conn: TcpConnection) -> None:
+        self.open = False
+        if self.conn.state not in ("CLOSED",):
+            self.conn.close()
+        self.robot._connection_gone(self)
+
+    def _on_reset(self, _conn: TcpConnection) -> None:
+        self.open = False
+        self.robot.result.errors.append(
+            f"connection reset with {len(self.outstanding)} outstanding")
+        self.robot._connection_gone(self)
+
+
+class MuxClient(Robot):
+    """Fetch a page over multiplexed framed streams (one connection)."""
+
+    _conn_class = _MuxConnState
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: Optional hook observing every frame the client emits:
+        #: ``tap(now, "c>s", frame_type, stream_id, payload)``.
+        self.frame_tap = None
+        #: URLs whose push the client refused (cancel-on-duplicate).
+        self.pushes_cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Dispatch: everything rides the single multiplexed connection
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        if self.result.complete or self.result.terminal_error is not None:
+            return
+        if not self._pending:
+            return
+        alive = self._alive_conns()
+        state = alive[0] if alive else self._new_conn()
+        wrote = False
+        while self._pending:
+            url = self._pending.popleft()
+            request = self._build_request(url)
+            explicit = (self.config.explicit_flush
+                        and url == self._html_url
+                        and self._scenario == FIRST_TIME)
+            state.send_request(url, request, flush=explicit)
+            wrote = True
+        # Same policy as the pipelined robot: the application knows the
+        # batch is complete once the HTML is fully parsed.
+        if wrote and self.config.explicit_flush and self._html_complete:
+            state.buffer.flush()
+
+    def _maybe_downgrade(self) -> None:
+        # There is no downgrade ladder below MUX: recovery re-opens the
+        # single multiplexed connection instead.
+        return
+
+    # ------------------------------------------------------------------
+    # Frame plumbing
+    # ------------------------------------------------------------------
+    def _send_frame(self, state: _MuxConnState, ftype: int, sid: int,
+                    payload: bytes = b"", *, buffered: bool = False,
+                    flush: bool = False) -> None:
+        if self.frame_tap is not None:
+            self.frame_tap(self.sim.now, "c>s", ftype, sid, payload)
+        wire = encode_frame(ftype, sid, payload)
+        if buffered:
+            state.buffer.write(wire)
+            if flush:
+                state.buffer.flush()
+        elif state.conn.state != "CLOSED":
+            # Control frames (WINDOW_UPDATE, CANCEL) must not sit in
+            # the request batch buffer: the server may be stalled on
+            # exactly this credit.
+            state.conn.send(wire)
+
+    def _on_frame(self, state: _MuxConnState, frame: Frame) -> None:
+        ftype = frame.type
+        if ftype in (F_HEADERS, F_DATA):
+            stream = state.streams.get(frame.stream)
+            if stream is None:
+                return      # cancelled or already complete; stale frame
+            if ftype == F_DATA:
+                stream.recv_window.spend(len(frame.payload))
+                if stream.recv_window.overrun:
+                    self.result.errors.append(
+                        f"flow-control overrun on stream {frame.stream}")
+                    state.open = False
+                    state.conn.abort()
+                    return
+                # Replenish immediately: the client consumes as it
+                # parses, so credit equals consumption.
+                stream.recv_window.grant(len(frame.payload))
+                wire = encode_window_update(frame.stream,
+                                            len(frame.payload))
+                if self.frame_tap is not None:
+                    self.frame_tap(self.sim.now, "c>s", F_WINDOW_UPDATE,
+                                   frame.stream,
+                                   wire[FRAME_HEADER_SIZE:])
+                if state.conn.state != "CLOSED":
+                    state.conn.send(wire)
+            try:
+                responses = stream.parser.feed(frame.payload)
+            except ParseError as exc:
+                self.result.errors.append(f"parse error: {exc}")
+                state.open = False
+                state.conn.abort()
+                return
+            for response in responses:
+                self._stream_complete(state, frame.stream, stream,
+                                      response)
+        elif ftype == F_PUSH_PROMISE:
+            self._on_push_promise(state, frame)
+        elif ftype == F_END_STREAM:
+            state.streams.pop(frame.stream, None)
+        # Servers send nothing else client-relevant; ignore the rest.
+
+    def _on_push_promise(self, state: _MuxConnState,
+                         frame: Frame) -> None:
+        url = frame.payload.decode("ascii", "replace")
+        if url in self._expected or url in self.result.responses:
+            # Duplicate of something already requested or delivered:
+            # refuse the push before the server spends wire on it.
+            self.pushes_cancelled += 1
+            self._note("push-cancel", url)
+            self._send_frame(state, F_CANCEL, frame.stream)
+            return
+        self._expected[url] = False
+        stream = _MuxStream(url, pushed=True)
+        stream.parser.expect("GET")
+        stream.parser.on_body_chunk = (
+            lambda response, chunk:
+            self._on_mux_body_chunk(stream, response, chunk))
+        state.streams[frame.stream] = stream
+
+    def _stream_complete(self, state: _MuxConnState, sid: int,
+                         stream: _MuxStream, response: Response) -> None:
+        state.streams.pop(sid, None)
+        if not stream.pushed:
+            try:
+                state.outstanding.remove(stream.url)
+            except ValueError:
+                pass
+        state.popped += 1
+        self._response_arrived(state, stream.url, response)
+
+    def _on_mux_body_chunk(self, stream: _MuxStream, response: Response,
+                           chunk: bytes) -> None:
+        if self.on_body_progress is not None:
+            total = self._body_progress.get(stream.url, 0) + len(chunk)
+            self._body_progress[stream.url] = total
+            self.on_body_progress(stream.url, response, total, chunk)
+        if self._scenario != FIRST_TIME:
+            return
+        if response.headers.get("Content-Type",
+                                "").startswith("text/html"):
+            if response.headers.get("Content-Encoding") == "deflate":
+                if self._inflater is None:
+                    self._inflater = zlib.decompressobj()
+                try:
+                    text = self._inflater.decompress(chunk)
+                except zlib.error:
+                    return
+            else:
+                text = chunk
+            self._discover(text)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _connection_gone(self, state) -> None:
+        if isinstance(state, _MuxConnState):
+            state.collect_unfinished()
+        super()._connection_gone(state)

@@ -25,7 +25,36 @@ from typing import Optional
 from ..simnet.engine import Event, Simulator
 from ..simnet.tcp import TcpConnection
 
-__all__ = ["OutputBuffer"]
+__all__ = ["FlowWindow", "OutputBuffer"]
+
+
+class FlowWindow:
+    """Per-stream flow-control credit for the MUX transports.
+
+    Symmetric bookkeeping shared by the MUX client and server: the
+    receiver grants credit (``grant``), the sender spends it on DATA
+    payload bytes (``spend``).  A receiver that sees its own credit go
+    negative has caught the peer overrunning the window.
+    """
+
+    __slots__ = ("credit",)
+
+    def __init__(self, initial: int) -> None:
+        self.credit = initial
+
+    def sendable(self, want: int) -> int:
+        """Bytes of ``want`` the current credit allows."""
+        return min(want, self.credit) if self.credit > 0 else 0
+
+    def spend(self, amount: int) -> None:
+        self.credit -= amount
+
+    def grant(self, amount: int) -> None:
+        self.credit += amount
+
+    @property
+    def overrun(self) -> bool:
+        return self.credit < 0
 
 
 class OutputBuffer:

@@ -125,6 +125,13 @@ class ClientConfig:
     #: Times to re-issue a request answered with a 5xx before accepting
     #: the error response as final.
     retry_server_errors: int = 3
+    # -- Sharding knobs (the HTTP/1.1 Sharded xN transport; 0 shards =
+    # -- the classic single-origin dispatch, identical code paths).
+    #: Number of simulated origins the content is hashed across; each
+    #: origin listens on ``server_port + shard``.
+    shards: int = 0
+    #: Redundant persistent connections kept per shard.
+    connections_per_shard: int = 2
 
 
 @dataclasses.dataclass
@@ -178,10 +185,13 @@ def _range_has_tail(response: Response) -> bool:
 class _ConnState:
     """One client connection with its parser and output buffer."""
 
-    def __init__(self, robot: "Robot") -> None:
+    def __init__(self, robot: "Robot",
+                 shard: Optional[int] = None) -> None:
         self.robot = robot
+        self.shard = shard
+        port = robot.server_port + (shard or 0)
         self.conn: TcpConnection = robot.stack.connect(
-            robot.server_host, robot.server_port)
+            robot.server_host, port)
         self.conn.set_nodelay(robot.config.nodelay)
         self.parser = ResponseParser()
         self.parser.on_body_chunk = (
@@ -263,6 +273,9 @@ class _ConnState:
 class Robot:
     """Fetch a page and its embedded objects over the simulated network."""
 
+    #: Connection-state class; the MUX client substitutes its own.
+    _conn_class = _ConnState
+
     def __init__(self, sim: Simulator, stack: TcpStack, server_host: str,
                  server_port: int = 80,
                  config: Optional[ClientConfig] = None,
@@ -276,6 +289,9 @@ class Robot:
         self.result = FetchResult()
         self._conns: List[_ConnState] = []
         self._pending: Deque[str] = deque()
+        #: Per-shard request queues (empty list when not sharding).
+        self._shard_queues: List[Deque[str]] = [
+            deque() for _ in range(self.config.shards)]
         self._expected: Dict[str, bool] = {}   # url -> handled?
         self._scenario = FIRST_TIME
         self._html_url: Optional[str] = None
@@ -284,8 +300,9 @@ class Robot:
         self._inflater: Optional["zlib._Decompress"] = None
         self._cpu_free_at = 0.0
         self._started = False
-        #: Consecutive connection failures that yielded zero responses.
-        self._consecutive_failures = 0
+        #: Consecutive zero-response connection failures, per origin
+        #: (keyed by shard index; ``None`` = the single-origin modes).
+        self._consecutive_failures: Dict[Optional[int], int] = {}
         #: Connections that died with unanswered requests (feeds the
         #: downgrade ladder) and the current ladder position: 0 = as
         #: configured, 1 = persistent-serialized, 2 = one-shot.
@@ -393,7 +410,9 @@ class Robot:
             return
         config = self.config
         persistent = (config.http_version >= HTTP11 or config.keep_alive)
-        if not persistent or self._downgrade_level >= 2:
+        if config.shards:
+            self._dispatch_sharded()
+        elif not persistent or self._downgrade_level >= 2:
             self._dispatch_one_shot()
         elif config.pipeline and self._downgrade_level == 0:
             self._dispatch_pipelined()
@@ -455,8 +474,43 @@ class Robot:
                 if id(state) in wrote:
                     state.buffer.flush()
 
-    def _new_conn(self) -> _ConnState:
-        state = _ConnState(self)
+    def _shard_of(self, url: str) -> int:
+        """Hash a URL to its origin (stable across the whole fetch)."""
+        key = url[:-len(TAIL_MARKER)] if url.endswith(TAIL_MARKER) else url
+        return zlib.crc32(key.encode("ascii", "replace")) \
+            % self.config.shards
+
+    def _dispatch_sharded(self) -> None:
+        """Hash each URL to one of N origins; keep up to
+        ``connections_per_shard`` redundant persistent connections per
+        origin, serialized (one outstanding request each).  This is the
+        late-90s sharding workaround the MUX modes obsolete: more
+        parallelism bought with extra handshakes and slow-starts."""
+        config = self.config
+        while self._pending:
+            url = self._pending.popleft()
+            self._shard_queues[self._shard_of(url)].append(url)
+        for shard, queue in enumerate(self._shard_queues):
+            if not queue:
+                continue
+            conns = [c for c in self._alive_conns() if c.shard == shard]
+            idle = [c for c in conns if not c.outstanding]
+            while queue and idle:
+                state = idle.pop()
+                url = queue.popleft()
+                state.send_request(url, self._build_request(url),
+                                   flush=True)
+            while queue and len([c for c in self._alive_conns()
+                                 if c.shard == shard]) \
+                    < config.connections_per_shard:
+                url = queue.popleft()
+                state = self._new_conn(shard=shard)
+                state.send_request(url, self._build_request(url),
+                                   flush=True)
+
+    def _new_conn(self, shard: Optional[int] = None) -> _ConnState:
+        state = self._conn_class(self, shard) if shard is not None \
+            else self._conn_class(self)
         self._conns.append(state)
         self.result.connections_used += 1
         parallel = len(self._alive_conns())
@@ -626,34 +680,37 @@ class Robot:
         if state.outstanding:
             # Server closed (or the watchdog killed) the connection with
             # unanswered requests: re-issue them on a fresh connection,
-            # within a bounded budget.
+            # within a bounded budget.  Failure streaks are tracked per
+            # origin (shard): eight origins stalling once each is eight
+            # independent hiccups, not one dead server.
             self.result.retries += 1
             requeue = list(state.outstanding)
             state.outstanding.clear()
+            origin = getattr(state, "shard", None)
             if state.popped:
-                self._consecutive_failures = 0
+                failures = self._consecutive_failures[origin] = 0
             else:
-                self._consecutive_failures += 1
+                failures = self._consecutive_failures[origin] = \
+                    self._consecutive_failures.get(origin, 0) + 1
             self._note("retry",
                        f"requeue {len(requeue)} after connection loss")
             if self.result.retries > self.config.retry_budget:
                 self._fail(f"retry budget exhausted "
                            f"({self.config.retry_budget})")
                 return
-            if (self._consecutive_failures
-                    >= self.config.max_consecutive_failures):
-                self._fail(f"{self._consecutive_failures} consecutive "
+            if failures >= self.config.max_consecutive_failures:
+                self._fail(f"{failures} consecutive "
                            f"connection failures without a response")
                 return
             for url in reversed(requeue):
                 self._pending.appendleft(url)
             self._maybe_downgrade()
-            if self._consecutive_failures:
+            if failures:
                 # Zero-progress failure: back off exponentially before
                 # hammering the server again.
                 delay = min(
                     self.config.retry_backoff_base
-                    * 2.0 ** (self._consecutive_failures - 1),
+                    * 2.0 ** (failures - 1),
                     self.config.retry_backoff_max)
                 self._note("backoff", f"{delay:g}s")
                 self.sim.schedule(delay, self._retry_dispatch)
@@ -704,6 +761,8 @@ class Robot:
         if self.result.complete:
             return
         if self._pending or not self._html_complete:
+            return
+        if any(self._shard_queues):
             return
         if any(not handled for handled in self._expected.values()):
             return

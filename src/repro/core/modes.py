@@ -1,6 +1,7 @@
-"""Protocol modes: the four client configurations of Tables 3–9.
+"""Protocol modes: the paper's four configurations plus the moderns.
 
-Each mode maps to a :class:`~repro.client.robot.ClientConfig`:
+Each mode pairs a table label with a :class:`~repro.core.transport.
+Transport` strategy that owns client configuration and server wiring:
 
 =============================  =====================================
 Mode                           Client behaviour
@@ -10,20 +11,39 @@ HTTP/1.0                       4 parallel connections, one request
 HTTP/1.1                       one persistent connection, serialized
 HTTP/1.1 Pipelined             one connection, buffered pipelining
 HTTP/1.1 Pipelined w. compr.   + ``Accept-Encoding: deflate`` (HTML)
+HTTP/MUX                       one connection, interleaved framed
+                               streams with per-stream flow control
+HTTP/MUX Push                  + server speculatively pushes the
+                               inline GIFs (client cancels dupes)
+HTTP/1.1 Sharded x4            content hashed over 4 origins, 2
+                               redundant connections each
 =============================  =====================================
+
+Modes self-register through :func:`repro.core.registry.register_mode`,
+which is how they appear in ``resolve_mode``, the matrix engine, the
+chaos planner and the report tables; third-party extensions register
+the same way.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Optional, Tuple
 
 from ..client.robot import ClientConfig
 from ..http import HTTP10, HTTP11
+from .transport import (Http10Transport, Http11Transport, ModeTuning,
+                        MuxTransport, ShardedTransport, Transport)
+from .registry import register_mode
 
-__all__ = ["ProtocolMode", "HTTP10_MODE", "HTTP11_PERSISTENT",
-           "HTTP11_PIPELINED", "HTTP11_PIPELINED_COMPRESSED", "ALL_MODES",
+__all__ = ["ProtocolMode", "ModeTuning", "HTTP10_MODE", "HTTP11_PERSISTENT",
+           "HTTP11_PIPELINED", "HTTP11_PIPELINED_COMPRESSED", "HTTP_MUX",
+           "HTTP_MUX_PUSH", "HTTP11_SHARDED", "ALL_MODES", "MODERN_MODES",
            "TABLE_MODES", "initial_tuning_client_config"]
+
+#: Sentinel distinguishing "not passed" from an explicit None.
+_UNSET = object()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,43 +55,40 @@ class ProtocolMode:
     parallel_connections: int = 1
     pipeline: bool = False
     compression: bool = False
+    #: The strategy that turns this mode into wire behaviour.  Defaults
+    #: by HTTP version so the legacy constructor calls keep working.
+    transport: Optional[Transport] = None
 
-    def client_config(self, *,
-                      flush_timeout: Optional[float] = 0.05,
-                      explicit_flush: bool = True,
-                      output_buffer_size: int = 1024) -> ClientConfig:
-        """Materialize the mode as a robot configuration."""
-        if self.version == HTTP10:
-            # The HTTP/1.0 client is the *old* libwww (4.1D), whose
-            # requests were noticeably fatter than the tuned 5.1
-            # robot's ~190 bytes (the paper's byte counts reflect it).
-            return ClientConfig(
-                http_version=HTTP10,
-                max_connections=self.parallel_connections,
-                pipeline=False,
-                reval_strategy="get-plus-head",
-                validator_preference="date",
-                user_agent="W3CRobot/4.1D libwww/4.1D",
-                extra_headers=(
-                    ("Accept", "image/gif"),
-                    ("Accept", "image/x-xbitmap"),
-                    ("Accept", "image/jpeg"),
-                    ("Accept", "image/pjpeg"),
-                    ("Accept", "text/html"),
-                    ("Accept", "text/plain"),
-                    ("Accept-Language", "en"),
-                    ("Accept-Charset", "iso-8859-1,*,utf-8"),
-                ))
-        return ClientConfig(
-            http_version=HTTP11,
-            max_connections=self.parallel_connections,
-            pipeline=self.pipeline,
-            accept_deflate=self.compression,
-            output_buffer_size=output_buffer_size,
-            flush_timeout=flush_timeout,
-            explicit_flush=explicit_flush,
-            reval_strategy="conditional",
-            validator_preference="etag")
+    def __post_init__(self) -> None:
+        if self.transport is None:
+            default = (Http10Transport() if self.version == HTTP10
+                       else Http11Transport())
+            object.__setattr__(self, "transport", default)
+
+    def client_config(self, *, tuning: Optional[ModeTuning] = None,
+                      flush_timeout=_UNSET, explicit_flush=_UNSET,
+                      output_buffer_size=_UNSET) -> ClientConfig:
+        """Materialize the mode as a client configuration.
+
+        Tuning knobs travel as one :class:`ModeTuning`; the three old
+        loose keywords still work behind a deprecation shim.
+        """
+        legacy = {name: value for name, value in (
+            ("flush_timeout", flush_timeout),
+            ("explicit_flush", explicit_flush),
+            ("output_buffer_size", output_buffer_size),
+        ) if value is not _UNSET}
+        if legacy:
+            if tuning is not None:
+                raise TypeError("pass either tuning= or the legacy "
+                                "keywords, not both")
+            warnings.warn(
+                "client_config(flush_timeout=..., explicit_flush=..., "
+                "output_buffer_size=...) is deprecated; pass "
+                "tuning=ModeTuning(...) instead", DeprecationWarning,
+                stacklevel=2)
+            tuning = ModeTuning(**legacy)
+        return self.transport.client_config(self, tuning or ModeTuning())
 
 
 def initial_tuning_client_config(mode: "ProtocolMode") -> ClientConfig:
@@ -120,14 +137,71 @@ HTTP11_PIPELINED_COMPRESSED = ProtocolMode(
     "HTTP/1.1 Pipelined w. compression", HTTP11, pipeline=True,
     compression=True)
 
-#: The four rows of Tables 4–7 (Tables 8–9 omit HTTP/1.0 on PPP).
+#: Multiplexed streams over one TCP connection (HTTP/2-shaped framing).
+HTTP_MUX = ProtocolMode("HTTP/MUX", HTTP11, transport=MuxTransport())
+
+#: MUX plus speculative server push of the inline images.
+HTTP_MUX_PUSH = ProtocolMode("HTTP/MUX Push", HTTP11,
+                             transport=MuxTransport(server_push=True))
+
+#: Domain sharding: 4 origins, 2 redundant connections per origin.
+HTTP11_SHARDED = ProtocolMode(
+    "HTTP/1.1 Sharded x4", HTTP11, parallel_connections=8,
+    transport=ShardedTransport(shards=4, connections_per_shard=2))
+
+#: Deprecated alias: the four rows of Tables 4–7 as a literal tuple.
+#: New code should call ``registry.modes_for_environment(env)``.
 ALL_MODES = (HTTP10_MODE, HTTP11_PERSISTENT, HTTP11_PIPELINED,
              HTTP11_PIPELINED_COMPRESSED)
 
-#: Rows used for the PPP tables (the paper did not run HTTP/1.0 there).
-TABLE_MODES = {
-    "LAN": ALL_MODES,
-    "WAN": ALL_MODES,
-    "PPP": (HTTP11_PERSISTENT, HTTP11_PIPELINED,
-            HTTP11_PIPELINED_COMPRESSED),
-}
+#: The post-paper modes (ROADMAP item 1).
+MODERN_MODES = (HTTP_MUX, HTTP_MUX_PUSH, HTTP11_SHARDED)
+
+register_mode(HTTP10_MODE, aliases=("http/1.0", "1.0"),
+              paper_environments=("LAN", "WAN"))
+register_mode(HTTP11_PERSISTENT,
+              aliases=("http/1.1", "1.1", "persistent"),
+              paper_environments=("LAN", "WAN", "PPP"))
+register_mode(HTTP11_PIPELINED, aliases=("pipelined", "pipeline"),
+              paper_environments=("LAN", "WAN", "PPP"))
+register_mode(HTTP11_PIPELINED_COMPRESSED,
+              aliases=("compressed", "pipelined-compressed"),
+              paper_environments=("LAN", "WAN", "PPP"))
+register_mode(HTTP_MUX, aliases=("mux", "http/mux", "h2", "multiplexed"))
+register_mode(HTTP_MUX_PUSH, aliases=("mux-push", "push"))
+register_mode(HTTP11_SHARDED, aliases=("sharded", "sharded-x4"))
+
+
+class _TableModesAlias:
+    """Deprecated mapping façade over ``modes_for_environment``.
+
+    Kept so ``TABLE_MODES["PPP"]`` and friends keep answering with the
+    paper's table rows while the registry owns the truth.
+    """
+
+    _ENVIRONMENTS = ("LAN", "WAN", "PPP")
+
+    def __getitem__(self, environment: str) -> Tuple[ProtocolMode, ...]:
+        from .registry import modes_for_environment
+        return modes_for_environment(environment, paper_only=True)
+
+    def __iter__(self):
+        return iter(self._ENVIRONMENTS)
+
+    def __len__(self) -> int:
+        return len(self._ENVIRONMENTS)
+
+    def __contains__(self, environment: object) -> bool:
+        return environment in self._ENVIRONMENTS
+
+    def keys(self):
+        return self._ENVIRONMENTS
+
+    def items(self):
+        return [(env, self[env]) for env in self._ENVIRONMENTS]
+
+
+#: Deprecated alias: rows of the paper's tables by environment (the
+#: paper did not run HTTP/1.0 on PPP).  Use
+#: ``registry.modes_for_environment(env, paper_only=True)``.
+TABLE_MODES = _TableModesAlias()

@@ -8,25 +8,33 @@ accepts either the already-resolved object (returned unchanged) or a
 name; names are matched case-insensitively, with the common shorthands
 registered as aliases.
 
+Modes are *registered*, not enumerated: :func:`register_mode` is public
+so new transports (or downstream experiments) self-register and
+automatically appear in :func:`resolve_mode`, the matrix engine, the
+chaos planner, the sanitizer and the report tables.  The built-in
+modes in :mod:`repro.core.modes` register themselves the same way.
+
 Unknown names raise :class:`UnknownNameError` whose message lists the
-accepted spellings, which the CLI prints verbatim.
+accepted spellings (and the closest match, when one is close enough);
+the CLI prints it verbatim.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple, Union
+import difflib
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from ..client.robot import FIRST_TIME, REVALIDATE
 from ..server.profiles import (APACHE, APACHE_12B2, JIGSAW, JIGSAW_INITIAL,
                                NAGLE_STALL_SERVER, NAIVE_CLOSE_SERVER,
                                ServerProfile)
 from ..simnet.link import ENVIRONMENTS, NetworkEnvironment
-from .modes import ALL_MODES, ProtocolMode
 
 __all__ = [
     "UnknownNameError",
     "MODES", "MODE_ALIASES", "PROFILES", "SCENARIOS_BY_NAME",
     "TABLE_CELLS",
+    "register_mode", "modes_for_environment",
     "resolve_mode", "resolve_environment", "resolve_profile",
     "resolve_scenario",
 ]
@@ -36,21 +44,18 @@ class UnknownNameError(ValueError):
     """A name that no registry entry answers to."""
 
 
-#: Canonical mode name (as the paper's tables print it) → mode.
-MODES: Dict[str, ProtocolMode] = {mode.name: mode for mode in ALL_MODES}
+#: Canonical mode name (as the tables print it) → mode.  Live registry:
+#: entries appear via :func:`register_mode`, in registration order.
+MODES: Dict[str, "ProtocolMode"] = {}
 
 #: Shorthand → canonical mode name.
-MODE_ALIASES: Dict[str, str] = {
-    "http/1.0": "HTTP/1.0",
-    "1.0": "HTTP/1.0",
-    "http/1.1": "HTTP/1.1",
-    "1.1": "HTTP/1.1",
-    "persistent": "HTTP/1.1",
-    "pipelined": "HTTP/1.1 Pipelined",
-    "pipeline": "HTTP/1.1 Pipelined",
-    "compressed": "HTTP/1.1 Pipelined w. compression",
-    "pipelined-compressed": "HTTP/1.1 Pipelined w. compression",
-}
+MODE_ALIASES: Dict[str, str] = {}
+
+#: Mode name → environments it runs in (None = every environment).
+_MODE_ENVIRONMENTS: Dict[str, Optional[Tuple[str, ...]]] = {}
+
+#: Mode name → environments where it is a row of the paper's tables.
+_PAPER_ENVIRONMENTS: Dict[str, Tuple[str, ...]] = {}
 
 #: Profile name → server profile (the two paper servers + ablations).
 PROFILES: Dict[str, ServerProfile] = {
@@ -77,14 +82,89 @@ TABLE_CELLS: Dict[int, Tuple[str, str]] = {
 }
 
 
+def register_mode(mode: "ProtocolMode", *,
+                  aliases: Iterable[str] = (),
+                  environments: Optional[Iterable[str]] = None,
+                  paper_environments: Iterable[str] = (),
+                  replace: bool = False) -> "ProtocolMode":
+    """Register a protocol mode under its canonical name.
+
+    Parameters
+    ----------
+    mode:
+        The :class:`~repro.core.modes.ProtocolMode` to register.
+    aliases:
+        Extra (case-insensitive) spellings ``resolve_mode`` accepts.
+    environments:
+        Environments the mode participates in (``None`` = all) — this
+        is what :func:`modes_for_environment` answers with.
+    paper_environments:
+        Environments where the mode is a row of the paper's Tables 4–9
+        (empty for post-paper modes).
+    replace:
+        Allow re-registering an existing name (tests, ablations).
+
+    Returns the mode, so registration can wrap construction.
+    """
+    from .modes import ProtocolMode
+    if not isinstance(mode, ProtocolMode):
+        raise TypeError(f"register_mode wants a ProtocolMode, "
+                        f"got {type(mode).__name__}")
+    if mode.name in MODES and not replace:
+        raise ValueError(f"mode {mode.name!r} is already registered "
+                         f"(pass replace=True to override)")
+    MODES[mode.name] = mode
+    _MODE_ENVIRONMENTS[mode.name] = (
+        None if environments is None
+        else tuple(str(env).upper() for env in environments))
+    _PAPER_ENVIRONMENTS[mode.name] = tuple(
+        str(env).upper() for env in paper_environments)
+    for alias in aliases:
+        MODE_ALIASES[str(alias).lower()] = mode.name
+    return mode
+
+
+def modes_for_environment(environment: Union[str, NetworkEnvironment], *,
+                          paper_only: bool = False
+                          ) -> Tuple["ProtocolMode", ...]:
+    """Registered modes that run in ``environment``, in registration
+    order.
+
+    With ``paper_only`` the answer is restricted to the rows of the
+    paper's tables for that environment (Tables 8–9 omit HTTP/1.0 on
+    PPP) — what the deprecated ``TABLE_MODES`` alias serves.
+    """
+    env = resolve_environment(environment).name
+    selected = []
+    for name, mode in MODES.items():
+        if paper_only:
+            if env not in _PAPER_ENVIRONMENTS.get(name, ()):
+                continue
+        else:
+            environments = _MODE_ENVIRONMENTS.get(name)
+            if environments is not None and env not in environments:
+                continue
+        selected.append(mode)
+    return tuple(selected)
+
+
 def _unknown(kind: str, value: object, choices) -> UnknownNameError:
-    listed = ", ".join(sorted(choices, key=str.lower))
+    names = sorted({str(choice) for choice in choices}, key=str.lower)
+    listed = ", ".join(names)
+    by_lower = {name.lower(): name for name in names}
+    close = difflib.get_close_matches(str(value).lower(), list(by_lower),
+                                      n=1, cutoff=0.6)
+    if close:
+        return UnknownNameError(
+            f"unknown {kind} {value!r} (did you mean "
+            f"{by_lower[close[0]]!r}? choose from: {listed})")
     return UnknownNameError(f"unknown {kind} {value!r} "
                             f"(choose from: {listed})")
 
 
-def resolve_mode(value: Union[str, ProtocolMode]) -> ProtocolMode:
+def resolve_mode(value: Union[str, "ProtocolMode"]) -> "ProtocolMode":
     """Resolve a protocol mode by object, canonical name, or alias."""
+    from .modes import ProtocolMode
     if isinstance(value, ProtocolMode):
         return value
     if value in MODES:
@@ -128,3 +208,10 @@ def resolve_scenario(value: str) -> str:
     if scenario is None:
         raise _unknown("scenario", value, SCENARIOS_BY_NAME)
     return scenario
+
+
+# The built-in modes live in .modes and self-register on import; pull
+# them in here so ``registry.MODES`` is populated no matter which of
+# the two modules is imported first.  (Must stay the last statement:
+# everything register_mode needs is defined above.)
+from . import modes as _builtin_modes  # noqa: E402,F401  (self-registers)

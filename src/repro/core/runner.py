@@ -15,20 +15,19 @@ import dataclasses
 import statistics
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..client.robot import ClientConfig, FetchResult, Robot
+from ..client.robot import ClientConfig, FetchResult
 from ..faults import (FaultInjector, FaultPlan, FaultyProfile, RecoveryLog,
                       resolve_fault_plan)
 from ..perf import PerfCounters
 from ..content.microscape import MicroscapeSite, build_microscape_site
 from ..http import MemoryCache
-from ..server.base import SimHttpServer
 from ..server.profiles import ServerProfile
 from ..server.static import ResourceStore
 from ..simnet.link import NetworkEnvironment
 from ..simnet.network import SERVER_HOST, TwoHostNetwork
 from ..simnet.tcp import TcpConfig
 from ..simnet.trace import TraceSummary
-from .modes import ProtocolMode
+from .modes import ModeTuning, ProtocolMode
 from .registry import (resolve_environment, resolve_mode, resolve_profile,
                        resolve_scenario)
 from .scenarios import FIRST_TIME, REVALIDATE, prefill_cache
@@ -278,7 +277,8 @@ def run_experiment(mode: Union[str, ProtocolMode],
     # (the clients were BSD-derived 200 ms stacks).
     server_tcp = TcpConfig(mss=environment.mss, delack_delay=0.050)
     config = client_config or mode.client_config(
-        flush_timeout=flush_timeout, explicit_flush=explicit_flush)
+        tuning=ModeTuning(flush_timeout=flush_timeout,
+                          explicit_flush=explicit_flush))
     plan = resolve_fault_plan(faults)
     recovery: Optional[RecoveryLog] = None
     if plan is not None:
@@ -293,24 +293,44 @@ def run_experiment(mode: Union[str, ProtocolMode],
         # faults never perturbs the link's jitter draw sequence.
         FaultInjector(net.link, plan.link, seed=seed + 7919,
                       recovery=recovery)
-    server = SimHttpServer(net.sim, net.server, store, profile)
-    server.recovery = recovery
+    transport = mode.transport
+    servers = transport.start_servers(net.sim, net.server, store, profile)
+    server = servers[0]
+    for srv in servers:
+        srv.recovery = recovery
     sanitizer = None
+    frame_validator = None
     if sanitize:
-        from ..lint import LiveSanitizer, SanitizerConfig
+        from ..lint import (FrameStreamValidator, LiveSanitizer,
+                            SanitizerConfig)
         client_tcp = TcpConfig(mss=environment.mss)
-        sanitizer = LiveSanitizer(net.link, SanitizerConfig.for_run(
+        s_config = SanitizerConfig.for_run(
             environment=environment,
             client_nodelay=config.nodelay,
             server_nodelay=profile.nodelay,
             client_delack=client_tcp.delack_delay,
             server_delack=server_tcp.delack_delay,
-            max_parallel=config.max_connections))
+            max_parallel=config.max_connections)
+        if plan is None:
+            # Clean runs also enforce the mode's connection-shape
+            # contract (fault recovery legitimately re-dials, so the
+            # rules are skipped under injection).
+            rules = transport.trace_rules(config)
+            if rules is not None:
+                s_config = dataclasses.replace(s_config, mode_rules=rules)
+        sanitizer = LiveSanitizer(net.link, s_config)
+        if transport.mux:
+            frame_validator = FrameStreamValidator(
+                push_allowed=transport.push)
     cache = MemoryCache()
     if scenario == REVALIDATE:
         prefill_cache(cache, store, site, profile)
-    robot = Robot(net.sim, net.client, SERVER_HOST, server.port,
-                  config, cache)
+    robot = transport.create_client(net.sim, net.client, SERVER_HOST,
+                                    server.port, config, cache)
+    if frame_validator is not None:
+        robot.frame_tap = frame_validator.observe
+        for srv in servers:
+            srv.frame_tap = frame_validator.observe
     if recovery is not None:
         # One shared log: injector, server and robot all write to it.
         robot.result.recovery = recovery
@@ -320,6 +340,12 @@ def run_experiment(mode: Union[str, ProtocolMode],
     net.sim.run()   # drain any residual timers/ACKs past the deadline
     if sanitizer is not None:
         sanitizer.finish(net.sim.now)
+    if frame_validator is not None:
+        frame_validator.finish(net.sim.now)
+        if frame_validator.violations:
+            from ..lint import InvariantViolationError
+            raise InvariantViolationError("; ".join(
+                v.format() for v in frame_validator.violations[:5]))
     if not result.complete:
         detail = (f" (terminal: {result.terminal_error})"
                   if result.terminal_error else "")
@@ -351,7 +377,7 @@ def run_experiment(mode: Union[str, ProtocolMode],
         connections_used=result.connections_used,
         max_parallel_connections=result.max_parallel_connections,
         retries=result.retries,
-        server_cpu_seconds=server.cpu_busy_seconds,
+        server_cpu_seconds=sum(s.cpu_busy_seconds for s in servers),
         mean_packets_per_connection=trace.mean_packets_per_connection,
         mean_packet_size=trace.mean_packet_size,
         mean_request_bytes=result.mean_request_bytes,

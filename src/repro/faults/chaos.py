@@ -1,8 +1,8 @@
 """The ``python -m repro chaos`` verb: sweep a seeded fault grid.
 
 The grid is every registered fault plan × {pipelined, persistent,
-HTTP/1.0} × {WAN, PPP} against Apache on a first-time fetch — 24 cells
-by default.  Every cell must complete: the run verifier checks that all
+HTTP/1.0, MUX, MUX+push, sharded} × {WAN, PPP} against Apache on a
+first-time fetch — 48 cells by default.  Every cell must complete: the run verifier checks that all
 43 Microscape resources arrive with status 200 and byte-identical
 bodies, within the robot's retry budget.  The grid is deterministic in
 ``--seed``, so a failing cell reproduces from its coordinates alone;
@@ -26,8 +26,12 @@ from .plan import FAULT_PLANS
 
 __all__ = ["chaos_cells", "run_chaos", "add_chaos_parser"]
 
-#: Protocol modes and environments swept by the grid.
-CHAOS_MODES: Tuple[str, ...] = ("pipelined", "http/1.1", "http/1.0")
+#: Protocol modes and environments swept by the grid.  The post-paper
+#: transports (MUX, MUX+push, sharded) are in the grid so every fault
+#: plan also exercises frame recovery, push cancellation under loss,
+#: and multi-origin re-dials.
+CHAOS_MODES: Tuple[str, ...] = ("pipelined", "http/1.1", "http/1.0",
+                                "mux", "mux-push", "sharded")
 CHAOS_ENVIRONMENTS: Tuple[str, ...] = ("WAN", "PPP")
 CHAOS_SERVER = "Apache"
 CHAOS_SCENARIO = "first-time"

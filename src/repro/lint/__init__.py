@@ -21,8 +21,10 @@ Both layers surface through ``python -m repro lint``.
 from .config import ALL_RULES, DEFAULT_CONFIG, LintConfig
 from .findings import Finding, format_json, format_text
 from .sanitizer import (
+    FrameStreamValidator,
     InvariantViolationError,
     LiveSanitizer,
+    ModeTraceRules,
     SanitizerConfig,
     TraceValidator,
     Violation,
@@ -43,8 +45,10 @@ __all__ = [
     "lint_file",
     "lint_paths",
     "lint_source",
+    "FrameStreamValidator",
     "InvariantViolationError",
     "LiveSanitizer",
+    "ModeTraceRules",
     "SanitizerConfig",
     "TraceValidator",
     "Violation",

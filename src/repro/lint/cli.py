@@ -14,6 +14,7 @@ document combining both layers.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import pathlib
 import sys
@@ -21,7 +22,8 @@ from typing import Dict, List
 
 from .config import ALL_RULES, DEFAULT_CONFIG
 from .findings import format_text
-from .sanitizer import SanitizerConfig, Violation, validate_trace_text
+from .sanitizer import (ModeTraceRules, SanitizerConfig, Violation,
+                        validate_trace_text)
 from .static import LintError, lint_paths
 
 __all__ = ["add_lint_parser", "run_lint", "DEFAULT_LINT_PATH",
@@ -72,6 +74,36 @@ def _trace_files(args: argparse.Namespace) -> List[pathlib.Path]:
     return traces
 
 
+def _config_for_fixture(name: str) -> SanitizerConfig:
+    """Pick the sanitizer config a committed fixture validates under.
+
+    ``lossy_*`` fixtures were captured under fault injection: RSTs and
+    retransmissions are legitimate there, so they validate under the
+    relaxed config (the sequence/handshake/Nagle invariants still
+    apply).  Fixtures of the MUX and sharded modes additionally enforce
+    those modes' connection-shape rules — mirroring what their
+    :class:`~repro.core.transport.Transport` strategies declare.
+    """
+    if name.startswith("lossy_"):
+        return SanitizerConfig.for_faulty_run()
+    if "sharded" in name:
+        # Eight parallel connections share the bottleneck: derive the
+        # transit bound the runner would use for this cell, then pin
+        # the sharded transport's port/handshake contract.
+        from ..simnet.link import ENVIRONMENTS
+        config = SanitizerConfig.for_run(
+            environment=ENVIRONMENTS["WAN"], client_nodelay=True,
+            server_nodelay=True, client_delack=0.200,
+            server_delack=0.050, max_parallel=8)
+        return dataclasses.replace(config, mode_rules=ModeTraceRules(
+            required_ports=(80, 81, 82, 83),
+            max_handshakes_per_port=2))
+    if "mux" in name:
+        return SanitizerConfig(mode_rules=ModeTraceRules(
+            min_connections=1, max_connections=1))
+    return SanitizerConfig()
+
+
 def run_lint(args: argparse.Namespace) -> int:
     config = DEFAULT_CONFIG
     if args.hot_path:
@@ -89,16 +121,8 @@ def run_lint(args: argparse.Namespace) -> int:
             trace_files = _trace_files(args)
             for trace in trace_files:
                 text = trace.read_text(encoding="utf-8")
-                # ``lossy_*`` fixtures were captured under fault
-                # injection: RSTs and retransmissions are legitimate
-                # there, so they validate under the relaxed config (the
-                # sequence/handshake/Nagle invariants still apply).
-                if trace.name.startswith("lossy_"):
-                    trace_config = SanitizerConfig.for_faulty_run()
-                else:
-                    trace_config = SanitizerConfig()
                 trace_violations[str(trace)] = validate_trace_text(
-                    text, trace_config)
+                    text, _config_for_fixture(trace.name))
         except (OSError, ValueError, LintError) as exc:
             print(f"lint: {exc}", file=sys.stderr)
             return 2

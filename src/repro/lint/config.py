@@ -92,6 +92,8 @@ DEFAULT_CONFIG = LintConfig(
         "simnet/packet.py",
         "simnet/tcp.py",
         "simnet/trace.py",
+        # The MUX frame codec runs once per TCP delivery in MUX modes.
+        "http/framing.py",
         # The fault injector runs once per delivered segment.
         "faults/injector.py",
         # The artifact store sits on every encode path; the runner's

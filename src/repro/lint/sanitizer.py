@@ -43,10 +43,16 @@ from __future__ import annotations
 import dataclasses
 import math
 import re
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
-__all__ = ["SanitizerConfig", "Violation", "InvariantViolationError",
-           "TraceValidator", "LiveSanitizer", "parse_trace_text",
+from ..http.framing import (F_CANCEL, F_DATA, F_END_STREAM, F_HEADERS,
+                            F_PUSH_PROMISE, F_WINDOW_UPDATE,
+                            FRAME_TYPE_NAMES, FramingError, Frame,
+                            INITIAL_STREAM_WINDOW, window_increment)
+
+__all__ = ["SanitizerConfig", "ModeTraceRules", "Violation",
+           "InvariantViolationError", "TraceValidator",
+           "FrameStreamValidator", "LiveSanitizer", "parse_trace_text",
            "validate_trace_text", "validate_records"]
 
 
@@ -68,6 +74,27 @@ class Violation:
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeTraceRules:
+    """Per-protocol-mode shape constraints on a clean trace.
+
+    Each :class:`~repro.core.transport.Transport` strategy may describe
+    what its traffic must look like at the TCP layer — how many
+    connections a clean run opens, which server ports must appear, and
+    how many handshakes any one port may absorb.  The rules run in
+    :meth:`TraceValidator.finalize`, alongside the teardown checks.
+    """
+
+    #: Fewest connections a clean run may open (0 = no floor).
+    min_connections: int = 0
+    #: Most connections a clean run may open (None = no ceiling).
+    max_connections: Optional[int] = None
+    #: Server ports that must each receive at least one connection.
+    required_ports: Tuple[int, ...] = ()
+    #: Ceiling on handshakes any single server port absorbs.
+    max_handshakes_per_port: Optional[int] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -100,6 +127,9 @@ class SanitizerConfig:
     require_teardown: bool = True
     #: Treat any RST as a violation (clean-trace mode).
     allow_rst: bool = False
+    #: Protocol-mode shape constraints (connection/port counts); None
+    #: disables them.
+    mode_rules: Optional[ModeTraceRules] = None
 
     @classmethod
     def for_run(cls, *, environment: Any, client_nodelay: bool,
@@ -140,7 +170,8 @@ class SanitizerConfig:
         base = base or cls()
         return dataclasses.replace(base, allow_rst=True,
                                    require_teardown=False,
-                                   transit_bound=base.transit_bound + 1.0)
+                                   transit_bound=base.transit_bound + 1.0,
+                                   mode_rules=None)
 
 
 class _Direction:
@@ -422,6 +453,187 @@ class TraceValidator:
                 elif not d.fin_acked:
                     self._report(end_time, flow, "half-close",
                                  f"{who}'s FIN was never acknowledged")
+        self._check_mode_rules(end_time)
+        return self.violations[before:]
+
+    def _check_mode_rules(self, end_time: float) -> None:
+        """Trace-level connection-shape checks (mode rules)."""
+        rules = self.config.mode_rules
+        if rules is None:
+            return
+
+        def report(message: str) -> None:
+            self.violations.append(Violation(
+                time=end_time, flow="<trace>", rule="mode-rules",
+                message=message))
+
+        per_port: Dict[int, int] = {}
+        total = 0
+        for key, flow in self._flows.items():
+            if flow.initiator is None:
+                continue
+            total += 1
+            responder = key[1] if key[0] == flow.initiator else key[0]
+            per_port[responder[1]] = per_port.get(responder[1], 0) + 1
+        if total < rules.min_connections:
+            report(f"trace opened {total} connections, mode requires "
+                   f"at least {rules.min_connections}")
+        if rules.max_connections is not None \
+                and total > rules.max_connections:
+            report(f"trace opened {total} connections, mode allows "
+                   f"at most {rules.max_connections}")
+        for port in rules.required_ports:
+            if port not in per_port:
+                report(f"no connection to required server port {port}")
+        if rules.max_handshakes_per_port is not None:
+            for port in sorted(per_port):
+                if per_port[port] > rules.max_handshakes_per_port:
+                    report(f"server port {port} absorbed "
+                           f"{per_port[port]} handshakes, mode allows "
+                           f"at most {rules.max_handshakes_per_port}")
+
+
+class FrameStreamValidator:
+    """Validates the frame event stream of a MUX-mode run.
+
+    The MUX client and server expose a ``frame_tap`` hook called at
+    frame *send* time — ``tap(now, direction, frame_type, stream_id,
+    payload)`` with ``direction`` ``"c>s"`` or ``"s>c"``.  A credit
+    grant is tapped before the server receives it, and any DATA that
+    grant enables is tapped after, so one validator observing both taps
+    in global time order sees grants before the spends they permit.
+
+    Enforced rules:
+
+    * client request streams carry odd, strictly increasing ids;
+      pushed streams even, strictly increasing ids;
+    * ``PUSH_PROMISE`` flows only server→client, only when the mode
+      allows pushing, and never before the first client request
+      (the push-before-request ordering rule);
+    * the server frames only open streams — an odd stream needs a
+      prior client ``HEADERS``, an even one a prior ``PUSH_PROMISE`` —
+      and nothing follows ``END_STREAM``;
+    * ``DATA`` never exceeds the granted flow-control window;
+    * every stream opened is ended or cancelled by trace end.
+
+    Server frames on a *cancelled* stream are tolerated: a CANCEL
+    legitimately crosses in-flight frames on the wire.
+    """
+
+    def __init__(self, *, push_allowed: bool = False) -> None:
+        self.push_allowed = push_allowed
+        self.violations: List[Violation] = []
+        #: Stream id → server send credit remaining.
+        self._windows: Dict[int, int] = {}
+        #: Stream id → True when opened by PUSH_PROMISE.
+        self._open: Dict[int, bool] = {}
+        self._ended: Set[int] = set()
+        self._cancelled: Set[int] = set()
+        self._last_client = -1
+        self._last_push = 0
+        self._requests = 0
+
+    def _report(self, time: float, rule: str, message: str) -> None:
+        self.violations.append(Violation(time=time, flow="<frames>",
+                                         rule=rule, message=message))
+
+    # ------------------------------------------------------------------
+    def observe(self, now: float, direction: str, ftype: int, sid: int,
+                payload: bytes = b"") -> List[Violation]:
+        """Process one tapped frame event; returns new violations."""
+        before = len(self.violations)
+        name = FRAME_TYPE_NAMES.get(ftype, hex(ftype))
+        if direction == "c>s":
+            self._observe_client(now, ftype, sid, payload, name)
+        else:
+            self._observe_server(now, ftype, sid, payload, name)
+        return self.violations[before:]
+
+    def _observe_client(self, now: float, ftype: int, sid: int,
+                        payload: bytes, name: str) -> None:
+        if ftype == F_HEADERS:
+            if sid % 2 == 0 or sid <= self._last_client:
+                self._report(now, "stream-id",
+                             f"client HEADERS on stream {sid} (want an "
+                             f"odd id above {self._last_client})")
+            else:
+                self._last_client = sid
+            self._open[sid] = False
+            self._windows[sid] = INITIAL_STREAM_WINDOW
+            self._requests += 1
+        elif ftype == F_WINDOW_UPDATE:
+            if sid not in self._open:
+                self._report(now, "frame-unopened",
+                             f"WINDOW_UPDATE for unopened stream {sid}")
+                return
+            try:
+                increment = window_increment(Frame(ftype, sid, payload))
+            except FramingError as exc:
+                self._report(now, "frame-malformed", str(exc))
+                return
+            self._windows[sid] = self._windows.get(sid, 0) + increment
+        elif ftype == F_CANCEL:
+            if sid not in self._open:
+                self._report(now, "frame-unopened",
+                             f"CANCEL for unopened stream {sid}")
+            self._cancelled.add(sid)
+        else:
+            self._report(now, "frame-direction",
+                         f"{name} is not a client frame")
+
+    def _observe_server(self, now: float, ftype: int, sid: int,
+                        payload: bytes, name: str) -> None:
+        if ftype == F_PUSH_PROMISE:
+            if not self.push_allowed:
+                self._report(now, "push-not-allowed",
+                             f"PUSH_PROMISE for stream {sid} in a mode "
+                             "without server push")
+            if self._requests == 0:
+                self._report(now, "push-before-request",
+                             f"PUSH_PROMISE for stream {sid} before any "
+                             "client request")
+            if sid % 2 or sid <= self._last_push:
+                self._report(now, "stream-id",
+                             f"PUSH_PROMISE on stream {sid} (want an "
+                             f"even id above {self._last_push})")
+            else:
+                self._last_push = sid
+            self._open[sid] = True
+            self._windows.setdefault(sid, INITIAL_STREAM_WINDOW)
+            return
+        if sid in self._cancelled:
+            return      # crossed a CANCEL on the wire; tolerated
+        if sid not in self._open:
+            self._report(now, "frame-unopened",
+                         f"server {name} on unopened stream {sid}")
+            return
+        if sid in self._ended:
+            self._report(now, "frame-after-end",
+                         f"server {name} on stream {sid} after its "
+                         "END_STREAM")
+            return
+        if ftype == F_DATA:
+            credit = self._windows.get(sid, 0) - len(payload)
+            self._windows[sid] = credit
+            if credit < 0:
+                self._report(now, "flow-window",
+                             f"DATA overruns stream {sid}'s window by "
+                             f"{-credit} bytes")
+        elif ftype == F_END_STREAM:
+            self._ended.add(sid)
+        elif ftype != F_HEADERS:
+            self._report(now, "frame-direction",
+                         f"{name} is not a server frame")
+
+    # ------------------------------------------------------------------
+    def finish(self, at_time: float = 0.0) -> List[Violation]:
+        """End-of-trace check: no stream may be left dangling."""
+        before = len(self.violations)
+        for sid in sorted(self._open):
+            if sid in self._ended or sid in self._cancelled:
+                continue
+            self._report(at_time, "stream-unfinished",
+                         f"stream {sid} was never ended or cancelled")
         return self.violations[before:]
 
 

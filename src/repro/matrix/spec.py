@@ -21,8 +21,9 @@ from typing import (Any, Dict, Iterator, List, Mapping, Sequence, Tuple,
                     Union)
 
 from ..client.robot import ClientConfig
-from ..core.modes import ALL_MODES, TABLE_MODES, ProtocolMode
+from ..core.modes import ALL_MODES, ProtocolMode
 from ..core.registry import (TABLE_CELLS, UnknownNameError,
+                             modes_for_environment,
                              resolve_environment, resolve_mode,
                              resolve_profile, resolve_scenario)
 from ..core.runner import DEFAULT_JITTER
@@ -289,7 +290,8 @@ class ExperimentMatrix:
                 f"unknown protocol table {number!r} (choose from: "
                 f"{', '.join(str(n) for n in sorted(TABLE_CELLS))})")
         server, environment = TABLE_CELLS[number]
-        return cls(modes=tuple(mode.name
-                               for mode in TABLE_MODES[environment]),
+        return cls(modes=tuple(
+                       mode.name for mode in modes_for_environment(
+                           environment, paper_only=True)),
                    environments=(environment,), servers=(server,),
                    seeds=tuple(seeds))

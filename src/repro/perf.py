@@ -106,13 +106,15 @@ class BenchCell:
 def representative_cells() -> List[BenchCell]:
     """One first-time cell per (mode, environment) the paper ran.
 
-    Follows :data:`repro.core.modes.TABLE_MODES`, so the HTTP/1.0 row
-    is omitted on PPP exactly as in Tables 8–9.
+    Follows the paper's table rows (via
+    :func:`repro.core.registry.modes_for_environment` with
+    ``paper_only``), so the HTTP/1.0 row is omitted on PPP exactly as
+    in Tables 8–9.
     """
-    from .core.modes import TABLE_MODES
+    from .core.registry import modes_for_environment
     cells = []
     for environment in ("LAN", "WAN", "PPP"):
-        for mode in TABLE_MODES[environment]:
+        for mode in modes_for_environment(environment, paper_only=True):
             cells.append(BenchCell(mode.name, environment))
     return cells
 

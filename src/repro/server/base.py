@@ -22,11 +22,17 @@ Implements the server-side lessons of the paper:
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Dict, Optional, Set
 
+from ..client.pipeline import FlowWindow
 from ..http import (HTTP10, HTTP11, Headers, ParseError, Request,
                     RequestParser, Response, PAPER_EPOCH,
                     format_http_date)
+from ..http.framing import (F_CANCEL, F_DATA, F_END_STREAM, F_HEADERS,
+                            F_PUSH_PROMISE, F_WINDOW_UPDATE, FramingError,
+                            FrameReader, INITIAL_STREAM_WINDOW,
+                            MAX_DATA_PAYLOAD, encode_frame,
+                            window_increment)
 from ..simnet.engine import Simulator
 from ..simnet.tcp import TcpConnection, TcpStack
 from .profiles import ServerProfile
@@ -108,6 +114,195 @@ class _ServerConnection:
             self.conn.shutdown_receive()
 
 
+class _MuxServerStream:
+    """One response being framed onto a MUX connection."""
+
+    __slots__ = ("sid", "head", "body", "sent", "window")
+
+    def __init__(self, sid: int, head: bytes, body: bytes) -> None:
+        self.sid = sid
+        self.head: Optional[bytes] = head
+        self.body = body
+        self.sent = 0
+        self.window = FlowWindow(INITIAL_STREAM_WINDOW)
+
+
+class _MuxServerConnection:
+    """Per-connection server state for the MUX framing modes.
+
+    Responses are emitted round-robin, at most one DATA frame per
+    stream per pass, each stream throttled by its flow-control window —
+    this is what interleaves the HTML body with the GIFs instead of
+    serializing whole responses like pipelining does.
+    """
+
+    def __init__(self, server: "SimHttpServer", conn: TcpConnection,
+                 push: bool) -> None:
+        self.server = server
+        self.conn = conn
+        self.push_enabled = push
+        self.reader = FrameReader()
+        self.out = bytearray()
+        self.requests_seen = 0
+        self.responses_queued = 0       # built but CPU not finished
+        self.responses_sent = 0
+        #: Streams currently emitting, in round-robin order.
+        self.active: Dict[int, _MuxServerStream] = {}
+        #: Streams refused by the client while their response was still
+        #: on the CPU queue.
+        self.cancelled: Set[int] = set()
+        self.next_push_id = 2
+        self.eof_received = False
+        self.closed = False
+        #: Stop accepting new streams (request limit reached); finish
+        #: once the queue drains.
+        self.closing = False
+
+    # ------------------------------------------------------------------
+    def on_data(self, _conn: TcpConnection, data: bytes) -> None:
+        if self.closed:
+            return
+        try:
+            frames = self.reader.feed(data)
+        except FramingError:
+            self.closed = True
+            if self.conn.state != "CLOSED":
+                self.conn.abort()
+            return
+        for frame in frames:
+            self._on_frame(frame)
+
+    def _on_frame(self, frame) -> None:
+        if self.closed:
+            return
+        if frame.type == F_HEADERS:
+            self._on_request(frame.stream, frame.payload)
+        elif frame.type == F_WINDOW_UPDATE:
+            stream = self.active.get(frame.stream)
+            if stream is not None:
+                stream.window.grant(window_increment(frame))
+                self._pump()
+        elif frame.type == F_CANCEL:
+            self._on_cancel(frame.stream)
+        # Clients send nothing else; stray frame types are ignored.
+
+    def _on_request(self, sid: int, payload: bytes) -> None:
+        if self.closing:
+            # Winding down: unanswered streams die with the connection
+            # and the client re-issues them (its normal recovery path).
+            return
+        try:
+            requests = RequestParser().feed(payload)
+        except ParseError:
+            requests = []
+        if len(requests) != 1:
+            self.closed = True
+            if self.conn.state != "CLOSED":
+                self.conn.abort()
+            return
+        self.requests_seen += 1
+        self.responses_queued += 1
+        self.server._dispatch_mux(self, sid, requests[0])
+
+    def _on_cancel(self, sid: int) -> None:
+        self.server._note("cancel", f"stream {sid}")
+        if sid in self.active:
+            del self.active[sid]
+        else:
+            self.cancelled.add(sid)
+        self._maybe_finish()
+
+    def on_eof(self, _conn: TcpConnection) -> None:
+        self.eof_received = True
+        self._maybe_finish()
+
+    def on_reset(self, _conn: TcpConnection) -> None:
+        self.closed = True
+
+    # ------------------------------------------------------------------
+    def start_stream(self, sid: int, head: bytes, body: bytes) -> None:
+        """CPU finished for this response: begin framing it out."""
+        self.active[sid] = _MuxServerStream(sid, head, body)
+        self._pump()
+
+    def queue_frame(self, ftype: int, sid: int,
+                    payload: bytes = b"") -> None:
+        """Append one frame, applying the buffer-flush policy."""
+        if self.closed:
+            return
+        tap = self.server.frame_tap
+        if tap is not None:
+            tap(self.server.sim.now, "s>c", ftype, sid, payload)
+        self.out.extend(encode_frame(ftype, sid, payload))
+        profile = self.server.profile
+        if not profile.buffered:
+            self.flush()
+        elif len(self.out) >= profile.output_buffer_size:
+            self.flush()
+
+    def _pump(self) -> None:
+        """Round-robin emission: one DATA frame per stream per pass."""
+        if self.closed:
+            return
+        progress = True
+        while progress:
+            progress = False
+            for sid in list(self.active):
+                stream = self.active.get(sid)
+                if stream is None:
+                    continue
+                if stream.head is not None:
+                    self.queue_frame(F_HEADERS, sid, stream.head)
+                    stream.head = None
+                    progress = True
+                remaining = len(stream.body) - stream.sent
+                if remaining > 0:
+                    can = stream.window.sendable(
+                        min(MAX_DATA_PAYLOAD, remaining))
+                    if can > 0:
+                        chunk = bytes(stream.body[stream.sent:
+                                                  stream.sent + can])
+                        stream.window.spend(can)
+                        stream.sent += can
+                        self.queue_frame(F_DATA, sid, chunk)
+                        progress = True
+                if stream.head is None \
+                        and stream.sent >= len(stream.body) \
+                        and sid in self.active:
+                    self.queue_frame(F_END_STREAM, sid)
+                    del self.active[sid]
+                    self.responses_sent += 1
+                    progress = True
+        if self.responses_queued == 0:
+            self.flush()
+        self._maybe_finish()
+
+    def _maybe_finish(self) -> None:
+        if self.closed:
+            return
+        if self.responses_queued or self.active:
+            return
+        if self.closing or self.eof_received:
+            self.finish()
+
+    # ------------------------------------------------------------------
+    def flush(self, close: bool = False) -> None:
+        if self.out and not self.closed and self.conn.state != "CLOSED":
+            self.conn.send(bytes(self.out), close=close)
+            self.out.clear()
+        elif close and not self.closed and self.conn.state != "CLOSED":
+            self.conn.close()
+
+    def finish(self) -> None:
+        if self.closed:
+            return
+        self.flush(close=True)
+        self.closed = True
+        if not self.server.profile.half_close \
+                and self.conn.state != "CLOSED":
+            self.conn.shutdown_receive()
+
+
 class SimHttpServer:
     """An HTTP/1.0 + HTTP/1.1 static server on the simulated network.
 
@@ -121,19 +316,31 @@ class SimHttpServer:
         Behavioural profile (Jigsaw / Apache / ablations).
     port:
         Listening port (default 80).
+    mux, push:
+        Speak the MUX framing protocol on accepted connections; with
+        ``push``, speculatively push inline images after an HTML GET.
     """
 
     def __init__(self, sim: Simulator, stack: TcpStack,
                  store: ResourceStore, profile: ServerProfile,
-                 port: int = 80) -> None:
+                 port: int = 80, mux: bool = False,
+                 push: bool = False) -> None:
         self.sim = sim
         self.stack = stack
         self.store = store
         self.profile = profile
         self.port = port
+        self.mux = mux
+        self.push = push
         self._cpu_free_at = 0.0
+        #: Optional hook observing every MUX frame the server emits:
+        #: ``tap(now, "s>c", frame_type, stream_id, payload)`` (set by
+        #: the experiment runner when sanitizing).
+        self.frame_tap = None
         #: Statistics for tests.
         self.requests_served = 0
+        self.pushes_promised = 0
+        self.pushes_sent = 0
         self.connections_accepted = 0
         #: Arrival ordinal of the last request, across all connections —
         #: the key by which scripted server faults fire.
@@ -159,7 +366,10 @@ class SimHttpServer:
     # ------------------------------------------------------------------
     def _accept(self, conn: TcpConnection) -> None:
         self.connections_accepted += 1
-        state = _ServerConnection(self, conn)
+        if self.mux:
+            state = _MuxServerConnection(self, conn, self.push)
+        else:
+            state = _ServerConnection(self, conn)
         conn.set_nodelay(self.profile.nodelay)
         conn.on_data = state.on_data
         conn.on_eof = state.on_eof
@@ -173,8 +383,10 @@ class SimHttpServer:
         if self.recovery is not None:
             self.recovery.note(self.sim.now, "server", kind, detail)
 
-    def _dispatch(self, state: _ServerConnection,
-                  request: Request) -> None:
+    def _build_or_fault(self, request: Request):
+        """Account the request, apply scripted faults, build the
+        response.  Shared by the plain-HTTP and MUX dispatch paths;
+        returns ``(response, abort_after, ordinal)``."""
         self.requests_received += 1
         ordinal = self.requests_received
         faults = getattr(self.profile, "faults", None)
@@ -202,6 +414,11 @@ class SimHttpServer:
             response = build_response(
                 self.store, request, self.profile,
                 date_header=format_http_date(PAPER_EPOCH + self.sim.now))
+        return response, abort_after, ordinal
+
+    def _dispatch(self, state: _ServerConnection,
+                  request: Request) -> None:
+        response, abort_after, ordinal = self._build_or_fault(request)
         self._apply_connection_headers(state, request, response)
         cost = (self.profile.base_cpu
                 + len(response.body_on_wire()) * self.profile.cpu_per_byte)
@@ -258,6 +475,94 @@ class SimHttpServer:
                 state.finish()
 
         self._cpu_run(cost, emit)
+
+    # ------------------------------------------------------------------
+    # MUX dispatch path
+    # ------------------------------------------------------------------
+    def _dispatch_mux(self, state: _MuxServerConnection, sid: int,
+                      request: Request) -> None:
+        response, abort_after, ordinal = self._build_or_fault(request)
+        limit = self.profile.max_requests_per_connection
+        if limit is not None and state.requests_seen >= limit:
+            state.closing = True
+        if (state.push_enabled and not state.closing
+                and request.method == "GET" and response.status == 200
+                and response.headers.get("Content-Type",
+                                         "").startswith("text/html")):
+            self._promise_pushes(state, request)
+        self._schedule_mux_response(state, sid, request, response,
+                                    abort_after, ordinal, push=False)
+
+    def _schedule_mux_response(self, state: _MuxServerConnection,
+                               sid: int, request: Request,
+                               response: Response,
+                               abort_after: Optional[int],
+                               ordinal: int, push: bool) -> None:
+        cost = (self.profile.base_cpu
+                + len(response.body_on_wire()) * self.profile.cpu_per_byte)
+        payload = response.to_bytes()
+        body = response.body_on_wire()
+        head = payload[:len(payload) - len(body)]
+
+        def emit() -> None:
+            state.responses_queued -= 1
+            if sid in state.cancelled:
+                state.cancelled.discard(sid)
+                state._maybe_finish()
+                return
+            if state.closed or state.conn.state == "CLOSED":
+                return
+            if abort_after is not None:
+                self._note("abort", f"request {ordinal} RST after "
+                           f"{abort_after} bytes")
+                state.flush()
+                framed = bytearray(encode_frame(F_HEADERS, sid, head))
+                for offset in range(0, len(body), MAX_DATA_PAYLOAD):
+                    framed += encode_frame(
+                        F_DATA, sid, body[offset:offset + MAX_DATA_PAYLOAD])
+                partial = bytes(framed[:abort_after])
+                if partial:
+                    state.conn.send(partial)
+                state.closed = True
+                state.conn.abort()
+                return
+            if push:
+                self.pushes_sent += 1
+            else:
+                self.requests_served += 1
+            state.start_stream(sid, head, body)
+
+        self._cpu_run(cost, emit)
+
+    def _promise_pushes(self, state: _MuxServerConnection,
+                        request: Request) -> None:
+        """Speculatively frame every inline image after an HTML GET.
+
+        The promises go out ahead of the HTML body so the client knows
+        not to request what is already coming; each pushed response
+        then pays the normal serial-CPU cost behind the HTML.
+        """
+        host = request.headers.get("Host", "")
+        for url in self.store.urls():
+            if url == request.target:
+                continue
+            resource = self.store.get(url)
+            if resource is None \
+                    or not resource.content_type.startswith("image/"):
+                continue
+            sid = state.next_push_id
+            state.next_push_id += 2
+            self.pushes_promised += 1
+            state.queue_frame(F_PUSH_PROMISE, sid,
+                              url.encode("ascii", "replace"))
+            push_request = Request("GET", url, HTTP11,
+                                   Headers([("Host", host)]))
+            response = build_response(
+                self.store, push_request, self.profile,
+                date_header=format_http_date(PAPER_EPOCH + self.sim.now))
+            state.responses_queued += 1
+            self._schedule_mux_response(state, sid, push_request,
+                                        response, None, 0, push=True)
 
     def _apply_connection_headers(self, state: _ServerConnection,
                                   request: Request,

@@ -1,0 +1,106 @@
+"""The Transport strategy surface behind every protocol mode."""
+
+import pytest
+
+from repro.core.modes import (HTTP10_MODE, HTTP11_PERSISTENT,
+                              HTTP11_PIPELINED, HTTP11_SHARDED, HTTP_MUX,
+                              HTTP_MUX_PUSH, MODERN_MODES, ModeTuning)
+from repro.core.transport import (DEFAULT_PORT, Http10Transport,
+                                  Http11Transport, MuxTransport,
+                                  ShardedTransport)
+from repro.http import HTTP10
+from repro.lint import ModeTraceRules
+
+
+# ----------------------------------------------------------------------
+# Strategy dispatch
+# ----------------------------------------------------------------------
+def test_every_mode_carries_a_transport():
+    assert isinstance(HTTP10_MODE.transport, Http10Transport)
+    assert isinstance(HTTP11_PERSISTENT.transport, Http11Transport)
+    assert isinstance(HTTP_MUX.transport, MuxTransport)
+    assert isinstance(HTTP11_SHARDED.transport, ShardedTransport)
+
+
+def test_transports_compare_by_value():
+    assert MuxTransport() == MuxTransport()
+    assert MuxTransport() != MuxTransport(server_push=True)
+    assert ShardedTransport(shards=4) == ShardedTransport(shards=4)
+
+
+def test_mux_and_push_flags():
+    assert not HTTP11_PIPELINED.transport.mux
+    assert HTTP_MUX.transport.mux and not HTTP_MUX.transport.push
+    assert HTTP_MUX_PUSH.transport.mux and HTTP_MUX_PUSH.transport.push
+    assert not HTTP11_SHARDED.transport.mux
+
+
+def test_http10_branch_lives_in_its_transport():
+    # The old `if version == HTTP10` branch of client_config() moved
+    # into Http10Transport: fat 4.1D requests, no pipelining.
+    config = HTTP10_MODE.client_config()
+    assert config.http_version == HTTP10
+    assert config.user_agent.startswith("W3CRobot/4.1D")
+    assert len(config.extra_headers) >= 4
+
+
+# ----------------------------------------------------------------------
+# ModeTuning and the deprecation shim
+# ----------------------------------------------------------------------
+def test_tuning_dataclass_forwarded():
+    config = HTTP11_PIPELINED.client_config(
+        tuning=ModeTuning(flush_timeout=1.0, explicit_flush=False,
+                          output_buffer_size=512))
+    assert config.flush_timeout == 1.0
+    assert not config.explicit_flush
+    assert config.output_buffer_size == 512
+
+
+def test_legacy_keywords_warn_but_work():
+    with pytest.warns(DeprecationWarning, match="ModeTuning"):
+        config = HTTP11_PIPELINED.client_config(flush_timeout=0.2)
+    assert config.flush_timeout == 0.2
+    # Unspecified knobs keep their ModeTuning defaults.
+    assert config.output_buffer_size == 1024
+
+
+def test_tuning_and_legacy_keywords_are_mutually_exclusive():
+    with pytest.raises(TypeError, match="not both"):
+        HTTP11_PIPELINED.client_config(tuning=ModeTuning(),
+                                       explicit_flush=False)
+
+
+# ----------------------------------------------------------------------
+# Per-mode trace rules
+# ----------------------------------------------------------------------
+def test_legacy_modes_have_no_extra_trace_rules():
+    for mode in (HTTP10_MODE, HTTP11_PERSISTENT, HTTP11_PIPELINED):
+        assert mode.transport.trace_rules(mode.client_config()) is None
+
+
+def test_mux_trace_rules_pin_one_connection():
+    rules = HTTP_MUX.transport.trace_rules(HTTP_MUX.client_config())
+    assert rules == ModeTraceRules(min_connections=1, max_connections=1)
+
+
+def test_sharded_trace_rules_name_every_origin_port():
+    transport = HTTP11_SHARDED.transport
+    rules = transport.trace_rules(HTTP11_SHARDED.client_config())
+    assert rules.required_ports == tuple(
+        DEFAULT_PORT + shard for shard in range(transport.shards))
+    assert rules.max_handshakes_per_port == transport.connections_per_shard
+
+
+# ----------------------------------------------------------------------
+# Mode-level wiring
+# ----------------------------------------------------------------------
+def test_sharded_client_config_spreads_connections():
+    config = HTTP11_SHARDED.client_config()
+    assert config.shards == 4
+    assert config.connections_per_shard == 2
+    assert config.max_connections == 8
+
+
+def test_modern_modes_roster():
+    assert [mode.name for mode in MODERN_MODES] == [
+        "HTTP/MUX", "HTTP/MUX Push", "HTTP/1.1 Sharded x4"]

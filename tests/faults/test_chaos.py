@@ -10,7 +10,7 @@ from repro.faults.chaos import _cell_seed, chaos_cells, run_chaos
 
 def test_grid_is_plans_by_modes_by_envs():
     cells = chaos_cells()
-    assert len(cells) == 4 * 3 * 2
+    assert len(cells) == 4 * 6 * 2
     assert len(set(cells)) == len(cells)
     assert cells[0][0] == "bursty-loss"
     assert all(env in ("WAN", "PPP") for _, _, env in cells)
@@ -57,4 +57,4 @@ def test_chaos_cli_verb_runs_one_cell(capsys):
 def test_full_grid_recovers_everywhere():
     out = io.StringIO()
     assert run_chaos(seed=1997, out=out) == 0
-    assert "all 24 cells recovered" in out.getvalue()
+    assert "all 48 cells recovered" in out.getvalue()

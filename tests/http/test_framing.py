@@ -1,0 +1,70 @@
+"""Unit tests for the MUX frame codec."""
+
+import pytest
+
+from repro.http.framing import (F_DATA, F_HEADERS, F_PUSH_PROMISE,
+                                F_WINDOW_UPDATE, FRAME_HEADER_SIZE,
+                                FRAME_TYPE_NAMES, Frame, FrameReader,
+                                FramingError, INITIAL_STREAM_WINDOW,
+                                MAX_DATA_PAYLOAD, encode_frame,
+                                encode_window_update, window_increment)
+
+
+def test_round_trip_single_frame():
+    wire = encode_frame(F_HEADERS, 3, b"GET / HTTP/1.1\r\n\r\n")
+    frames = FrameReader().feed(wire)
+    assert len(frames) == 1
+    frame = frames[0]
+    assert frame.type == F_HEADERS
+    assert frame.stream == 3
+    assert frame.payload == b"GET / HTTP/1.1\r\n\r\n"
+    assert frame.wire_size == len(wire)
+
+
+def test_reader_reassembles_across_arbitrary_byte_runs():
+    wire = (encode_frame(F_HEADERS, 1, b"head") +
+            encode_frame(F_DATA, 1, b"x" * 100) +
+            encode_frame(F_DATA, 2, b""))
+    reader = FrameReader()
+    frames = []
+    for i in range(len(wire)):            # one byte at a time
+        frames.extend(reader.feed(wire[i:i + 1]))
+    assert [(f.type, f.stream, len(f.payload)) for f in frames] == [
+        (F_HEADERS, 1, 4), (F_DATA, 1, 100), (F_DATA, 2, 0)]
+    assert reader.buffered == 0
+
+
+def test_reader_buffers_partial_frame():
+    wire = encode_frame(F_DATA, 5, b"abcdef")
+    reader = FrameReader()
+    assert reader.feed(wire[:FRAME_HEADER_SIZE + 2]) == []
+    assert reader.buffered == FRAME_HEADER_SIZE + 2
+    frames = reader.feed(wire[FRAME_HEADER_SIZE + 2:])
+    assert len(frames) == 1
+    assert frames[0].payload == b"abcdef"
+
+
+def test_unknown_frame_type_rejected():
+    bogus = bytes([0x7f]) + encode_frame(F_DATA, 1, b"")[1:]
+    with pytest.raises(FramingError, match="unknown frame type"):
+        FrameReader().feed(bogus)
+
+
+def test_window_update_round_trip():
+    wire = encode_window_update(7, 4096)
+    (frame,) = FrameReader().feed(wire)
+    assert frame.type == F_WINDOW_UPDATE
+    assert window_increment(frame) == 4096
+
+
+def test_window_increment_rejects_bad_payload_length():
+    with pytest.raises(FramingError, match="WINDOW_UPDATE payload"):
+        window_increment(Frame(F_WINDOW_UPDATE, 1, b"\x00\x01"))
+
+
+def test_constants_are_coherent():
+    # The window must hold several max-size DATA frames, or the credit
+    # loop would stall every stream after its first frame.
+    assert INITIAL_STREAM_WINDOW >= 2 * MAX_DATA_PAYLOAD
+    assert F_PUSH_PROMISE in FRAME_TYPE_NAMES
+    assert len(set(FRAME_TYPE_NAMES.values())) == len(FRAME_TYPE_NAMES)

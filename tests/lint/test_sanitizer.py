@@ -20,8 +20,9 @@ LOSSY_TRACES = sorted(GOLDEN_DIR.glob("lossy_*.trace"))
 # ----------------------------------------------------------------------
 # Golden traces replay clean
 # ----------------------------------------------------------------------
-def test_four_golden_fixtures_exist():
-    assert len(GOLDEN_TRACES) == 4
+def test_golden_fixtures_exist():
+    # Four legacy modes plus the three post-paper modes.
+    assert len(GOLDEN_TRACES) == 7
 
 
 @pytest.mark.parametrize("trace", GOLDEN_TRACES,

@@ -5,7 +5,8 @@ import pytest
 from repro.core import (HTTP10_MODE, HTTP11_PIPELINED, FIRST_TIME,
                         REVALIDATE)
 from repro.core.registry import (MODES, PROFILES, TABLE_CELLS,
-                                 UnknownNameError, resolve_environment,
+                                 UnknownNameError, modes_for_environment,
+                                 register_mode, resolve_environment,
                                  resolve_mode, resolve_profile,
                                  resolve_scenario)
 from repro.server import APACHE
@@ -68,3 +69,98 @@ def test_registry_maps_are_canonical():
         assert mode.name == name
     for name, profile in PROFILES.items():
         assert profile.name == name
+
+
+# ----------------------------------------------------------------------
+# The open registration surface (register_mode and friends)
+# ----------------------------------------------------------------------
+def _unregister(name, aliases):
+    from repro.core import registry
+    registry.MODES.pop(name, None)
+    registry._MODE_ENVIRONMENTS.pop(name, None)
+    registry._PAPER_ENVIRONMENTS.pop(name, None)
+    for alias in aliases:
+        registry.MODE_ALIASES.pop(alias, None)
+
+
+def test_register_mode_wires_a_new_mode_everywhere():
+    from repro.core.modes import ProtocolMode
+    from repro.http import HTTP11
+    mode = ProtocolMode("HTTP/TEST Gopher++", HTTP11)
+    try:
+        returned = register_mode(mode, aliases=("gopherpp",),
+                                 environments=("LAN",))
+        assert returned is mode
+        assert resolve_mode("gopherpp") is mode
+        assert resolve_mode("http/test gopher++") is mode
+        assert mode in modes_for_environment("LAN")
+        assert mode not in modes_for_environment("WAN")
+        # Not a paper table row, so paper_only never shows it.
+        assert mode not in modes_for_environment("LAN", paper_only=True)
+    finally:
+        _unregister(mode.name, ("gopherpp",))
+
+
+def test_register_mode_rejects_duplicates_unless_replace():
+    from repro.core.modes import ProtocolMode
+    from repro.http import HTTP11
+    mode = ProtocolMode("HTTP/TEST Dup", HTTP11)
+    try:
+        register_mode(mode)
+        with pytest.raises(ValueError, match="already registered"):
+            register_mode(ProtocolMode("HTTP/TEST Dup", HTTP11))
+        replacement = ProtocolMode("HTTP/TEST Dup", HTTP11, pipeline=True)
+        register_mode(replacement, replace=True)
+        assert resolve_mode("HTTP/TEST Dup") is replacement
+    finally:
+        _unregister("HTTP/TEST Dup", ())
+
+
+def test_register_mode_rejects_non_modes():
+    with pytest.raises(TypeError, match="ProtocolMode"):
+        register_mode("pipelined")
+
+
+def test_modes_for_environment_serves_the_paper_rows():
+    ppp = modes_for_environment("PPP", paper_only=True)
+    assert HTTP10_MODE not in ppp
+    assert [m.name for m in ppp] == ["HTTP/1.1", "HTTP/1.1 Pipelined",
+                                     "HTTP/1.1 Pipelined w. compression"]
+    lan = modes_for_environment("LAN", paper_only=True)
+    assert lan[0] is HTTP10_MODE
+
+
+def test_modes_for_environment_includes_the_modern_modes():
+    names = [m.name for m in modes_for_environment("WAN")]
+    for expected in ("HTTP/MUX", "HTTP/MUX Push", "HTTP/1.1 Sharded x4"):
+        assert expected in names
+
+
+def test_table_modes_alias_still_answers():
+    # Deprecated façade over modes_for_environment, kept for old code.
+    from repro.core import TABLE_MODES
+    assert HTTP10_MODE not in TABLE_MODES["PPP"]
+    assert "PPP" in TABLE_MODES
+    assert set(TABLE_MODES.keys()) == {"LAN", "WAN", "PPP"}
+
+
+# ----------------------------------------------------------------------
+# Did-you-mean suggestions
+# ----------------------------------------------------------------------
+def test_unknown_mode_suggests_closest_spelling():
+    with pytest.raises(UnknownNameError) as excinfo:
+        resolve_mode("pipelned")
+    assert "did you mean 'pipelined'?" in str(excinfo.value)
+
+
+def test_unknown_environment_suggests_closest_spelling():
+    with pytest.raises(UnknownNameError) as excinfo:
+        resolve_environment("WLAN")
+    message = str(excinfo.value)
+    assert "did you mean" in message and "choose from:" in message
+
+
+def test_hopeless_typos_get_no_suggestion():
+    with pytest.raises(UnknownNameError) as excinfo:
+        resolve_mode("zzzzqqqq")
+    assert "did you mean" not in str(excinfo.value)

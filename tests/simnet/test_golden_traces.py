@@ -22,6 +22,10 @@ GOLDEN_CELLS = [
     ("HTTP/1.1", "golden_persistent_wan.trace"),
     ("HTTP/1.1 Pipelined", "golden_pipelined_wan.trace"),
     ("HTTP/1.1 Pipelined w. compression", "golden_pipelined-deflate_wan.trace"),
+    # The post-paper modes: captured at their introduction, same cell.
+    ("HTTP/MUX", "golden_mux_wan.trace"),
+    ("HTTP/MUX Push", "golden_mux-push_wan.trace"),
+    ("HTTP/1.1 Sharded x4", "golden_sharded-x4_wan.trace"),
 ]
 
 
