@@ -122,6 +122,46 @@ contributes its own trace rules: "exactly one connection" for MUX,
 legality and flow-control accounting for both MUX modes), and the
 report tables.
 
+## Performance
+
+The whole reproduction is wall-time-bounded by the simulator kernel,
+so the kernel carries an opt-in **flow-level fast-forward**
+(`repro.simnet.fastforward`): when the TCP layer flags a
+window-limited sender in steady bulk transfer — ESTABLISHED, no loss
+or recovery in sight, a deep send queue, the receiver a pure sink
+with textbook delayed-ACK state — the driver lifts the flow's
+in-flight deliveries and timer standings off the event heap and
+replays the per-segment arithmetic (cwnd growth, RTT estimation,
+delayed ACKs, FIFO link serialization with the same RNG jitter draws,
+V.42bis dictionary updates) in a tight local loop, synthesizing the
+exact packet records per-segment execution would have produced.  Any
+discontinuity — another flow's event, an application callback doing
+anything at all, an RTO deadline, the send queue running low, an
+exact event-time tie — ends the span and hands back to per-segment
+execution.  A span pays a heap scan and two heap rebuilds, so a flow
+whose first span synthesizes almost nothing (request/response traffic
+where the application's next request breaks every span immediately)
+is vetoed and runs per-segment for the rest of its life — the HTTP
+cells pay at most one probe span per connection.
+
+Traces are byte-identical by construction and by gate: `scripts/
+check.sh` compares a WAN and a PPP cell against `--no-fastpath`, the
+seven golden WAN fixtures and the 48-cell chaos grid run with the
+driver enabled, and `python -m repro bench --fastpath` re-verifies
+identity before recording timings.  Measured on the bulk-transfer
+cells (best of 3, under `fastpath` in `BENCH_simnet.json`):
+
+    cell                        on        off      speedup
+    bulk-8MB | LAN              34 ms     132 ms   3.9x
+    bulk-4MB | WAN              16 ms      69 ms   4.3x
+    bulk-2MB no-modem | PPP     10 ms      46 ms   4.8x
+    bulk-1MB no-modem | PPP      6 ms      22 ms   3.6x
+
+`fastpath` is a cache-key dimension of `ExperimentSpec` and an escape
+hatch everywhere a run is configured: `python -m repro run
+--no-fastpath`, `run_experiment(..., fastpath=False)`,
+`TcpConfig(fastpath=False)`.
+
 ## Known deviations
 
 * **HTTP/1.0 first-retrieval byte counts** run ~12 % below the paper's

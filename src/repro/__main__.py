@@ -118,7 +118,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = run_experiment(args.mode, args.scenario,
                                 environment=args.environment,
                                 profile=args.server, seed=args.seed,
-                                sanitize=args.sanitize)
+                                sanitize=args.sanitize,
+                                fastpath=not args.no_fastpath)
     except UnknownNameError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -167,8 +168,23 @@ def _cmd_site(_args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .perf import (run_benchmark, run_matrix_benchmark,
-                       validate_bench_payload)
+    from .perf import (run_benchmark, run_fastpath_benchmark,
+                       run_matrix_benchmark, validate_bench_payload)
+    if args.fastpath:
+        payload = run_fastpath_benchmark(
+            args.output, repeats=args.repeats or 3)
+        problems = validate_bench_payload(payload)
+        if problems:
+            for problem in problems:
+                print(f"bench schema problem: {problem}", file=sys.stderr)
+            return 1
+        cells = payload["fastpath"]["cells"]
+        speedups = sorted(entry["speedup_fastpath"]
+                          for entry in cells.values())
+        print(f"wrote {args.output}: {len(cells)} fast-path cells, "
+              f"speedup {speedups[0]:.2f}x..{speedups[-1]:.2f}x, "
+              f"traces byte-identical")
+        return 0
     if args.matrix:
         payload = run_matrix_benchmark(args.output, jobs=args.jobs)
         problems = validate_bench_payload(payload)
@@ -236,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--server", choices=("jigsaw", "apache"),
                      default="apache")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--no-fastpath", action="store_true",
+                     help="disable the flow-level fast-forward driver "
+                          "and execute every segment event-by-event "
+                          "(byte-identical; useful to verify the fast "
+                          "path or isolate it when debugging)")
     run.add_argument("--sanitize", action="store_true",
                      help="validate the run live against the TCP "
                           "invariants and the mode's trace rules "
@@ -271,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes for --matrix "
                             "(default: one per CPU)")
+    bench.add_argument("--fastpath", action="store_true",
+                       help="time bulk transfers with the fast-forward "
+                            "driver on vs. off (verifies byte-identical "
+                            "traces) and record the cells under the "
+                            "file's 'fastpath' key")
     _add_artifact_flag(bench)
     bench.set_defaults(fn=_cmd_bench)
 

@@ -187,6 +187,8 @@ class AveragedResult:
             total.heap_purges += counters.heap_purges
             total.segments += counters.segments
             total.cancels_avoided += counters.cancels_avoided
+            total.fastforward_spans += counters.fastforward_spans
+            total.segments_synthesized += counters.segments_synthesized
         return total
 
 
@@ -235,7 +237,8 @@ def run_experiment(mode: Union[str, ProtocolMode],
                    keep_trace: bool = False,
                    sanitize: bool = False,
                    max_sim_time: float = 1200.0,
-                   faults: Union[None, str, FaultPlan] = None) -> RunResult:
+                   faults: Union[None, str, FaultPlan] = None,
+                   fastpath: bool = True) -> RunResult:
     """Run one (mode, scenario, environment, server) cell.
 
     ``mode``, ``scenario``, ``environment`` and ``profile`` accept
@@ -263,6 +266,11 @@ def run_experiment(mode: Union[str, ProtocolMode],
     With ``faults=None`` nothing changes: no injector is installed, no
     extra events are scheduled, and runs stay bit-identical to the
     golden traces.
+
+    ``fastpath=False`` (the CLI's ``--no-fastpath``) disables the
+    flow-level fast-forward driver and forces per-segment execution.
+    Traces and summaries are byte-identical either way; only the
+    :class:`~repro.perf.PerfCounters` work profile differs.
     """
     mode = resolve_mode(mode)
     scenario = resolve_scenario(scenario)
@@ -287,7 +295,7 @@ def run_experiment(mode: Union[str, ProtocolMode],
             profile = FaultyProfile.wrap(profile, plan.server)
         config = _fault_hardened_config(config, environment)
     net = TwoHostNetwork(environment, seed=seed, jitter=jitter,
-                         server_config=server_tcp)
+                         server_config=server_tcp, fastpath=fastpath)
     if plan is not None and plan.link.active:
         # A private RNG stream (offset from the run seed) so injecting
         # faults never perturbs the link's jitter draw sequence.

@@ -89,6 +89,9 @@ DEFAULT_CONFIG = LintConfig(
     },
     hot_path_modules=(
         "simnet/engine.py",
+        # The fast-forward driver replays the per-segment arithmetic
+        # for whole bulk-transfer windows per call.
+        "simnet/fastforward.py",
         "simnet/packet.py",
         "simnet/tcp.py",
         "simnet/trace.py",

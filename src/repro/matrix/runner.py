@@ -131,7 +131,7 @@ def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[RunResult, float]:
         seed=seed, jitter=spec.jitter,
         client_config=spec.client_config(),
         verify=spec.verify, max_sim_time=spec.max_sim_time,
-        faults=spec.faults)
+        faults=spec.faults, fastpath=spec.fastpath)
     wall = time.perf_counter() - start
     stripped = dataclasses.replace(result, fetch=None, trace=None)
     return stripped, wall

@@ -107,6 +107,11 @@ class ExperimentSpec:
     #: Named :class:`~repro.faults.FaultPlan` injected into each run
     #: (None = the clean, golden-trace-identical configuration).
     faults: Any = None
+    #: Allow the flow-level fast-forward driver.  Results are
+    #: byte-identical either way, but the recorded
+    #: :class:`~repro.perf.PerfCounters` work profile is not, so the
+    #: flag is part of the cache key.
+    fastpath: bool = True
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
@@ -126,6 +131,7 @@ class ExperimentSpec:
              _canonical_overrides(self.client_overrides))
         set_(self, "verify", bool(self.verify))
         set_(self, "max_sim_time", float(self.max_sim_time))
+        set_(self, "fastpath", bool(self.fastpath))
         if self.faults is not None:
             # Store the canonical plan *name*: specs stay hashable and
             # JSON-serializable, and the registry resolves it at run
@@ -186,6 +192,7 @@ class ExperimentSpec:
             "verify": self.verify,
             "max_sim_time": self.max_sim_time,
             "faults": self.faults,
+            "fastpath": self.fastpath,
         }
 
     # ------------------------------------------------------------------

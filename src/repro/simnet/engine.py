@@ -95,12 +95,16 @@ class Simulator:
         simulator's lifetime (events fired, heap high-water mark, …).
     """
 
-    __slots__ = ("now", "perf", "_heap", "_seq", "_live", "_dead",
-                 "_running", "_stopped")
+    __slots__ = ("now", "perf", "fastforward", "_heap", "_seq", "_live",
+                 "_dead", "_running", "_stopped")
 
     def __init__(self) -> None:
         self.now: float = 0.0
         self.perf = PerfCounters()
+        #: Optional :class:`~repro.simnet.fastforward.FastForward` driver
+        #: consulted by :meth:`run` between events.  ``None`` (the
+        #: default) keeps the event loop on the plain per-event path.
+        self.fastforward = None
         self._heap: List[Tuple[float, int, Event]] = []
         self._seq = 0
         self._live = 0      # scheduled, not cancelled, not yet fired
@@ -162,6 +166,51 @@ class Simulator:
         self.perf.heap_purges += 1
 
     # ------------------------------------------------------------------
+    # Event surgery (fast-forward support)
+    # ------------------------------------------------------------------
+    def extract_events(self, events) -> None:
+        """Remove live ``events`` from the heap without firing them.
+
+        Used by the fast-forward driver to take ownership of a span's
+        deliveries and timer standings.  Extracted events are detached
+        (``_sim`` cleared) so a stray :meth:`Event.cancel` while
+        extracted cannot decrement the live count a second time —
+        ``pending_events`` stays exact through extract/reinsert cycles.
+        The heap is rebuilt once, preserving the ``(time, seq)`` order
+        of every remaining entry.
+        """
+        remove = set(map(id, events))
+        if not remove:
+            return
+        survivors = []
+        extracted = 0
+        for entry in self._heap:
+            if id(entry[2]) in remove:
+                entry[2]._sim = None
+                extracted += 1
+            else:
+                survivors.append(entry)
+        if extracted != len(remove):
+            raise SimulationError("extract_events: event not in heap")
+        heapq.heapify(survivors)
+        self._heap = survivors
+        self._live -= extracted
+
+    def reinsert_entry(self, entry: Tuple[float, int, Event]) -> None:
+        """Put an extracted ``(time, seq, event)`` entry back verbatim.
+
+        The original time *and* sequence number are preserved, so a
+        reinserted event keeps its exact tie-break position relative to
+        everything scheduled before the extraction.
+        """
+        event = entry[2]
+        if event.cancelled:
+            raise SimulationError("reinsert_entry: event was cancelled")
+        event._sim = self
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None,
@@ -186,6 +235,13 @@ class Simulator:
         pop = heapq.heappop
         try:
             while self._heap and not self._stopped:
+                ff = self.fastforward
+                if ff is not None and ff.pending is not None:
+                    # A steady bulk-transfer candidate was flagged by the
+                    # TCP layer: give the analytic fast path one shot at
+                    # advancing the span before the next event pops.
+                    ff.attempt(until)
+                    continue
                 time, _seq, event = self._heap[0]
                 if event.cancelled:
                     pop(self._heap)

@@ -17,6 +17,7 @@ import random
 from typing import Optional
 
 from .engine import Simulator
+from .fastforward import FastForward
 from .link import NetworkEnvironment
 from .modem import ModemCompressor
 from .tcp import TcpConfig, TcpStack
@@ -51,13 +52,20 @@ class TwoHostNetwork:
     modem_compression:
         Override the environment's modem-compression flag (e.g. to
         measure a PPP link with V.42bis disabled).
+    fastpath:
+        Wire up the flow-level fast-forward driver
+        (:class:`~repro.simnet.fastforward.FastForward`).  Results are
+        byte-identical either way; False (the ``--no-fastpath`` escape
+        hatch) forces per-segment execution throughout.  The driver is
+        also skipped when either host's :class:`TcpConfig` disables it.
     """
 
     def __init__(self, environment: NetworkEnvironment, *,
                  seed: int = 0, jitter: float = 0.0,
                  client_config: Optional[TcpConfig] = None,
                  server_config: Optional[TcpConfig] = None,
-                 modem_compression: Optional[bool] = None) -> None:
+                 modem_compression: Optional[bool] = None,
+                 fastpath: bool = True) -> None:
         self.environment = environment
         self.sim = Simulator()
         self.rng = random.Random(seed)
@@ -70,6 +78,12 @@ class TwoHostNetwork:
                                server_config or TcpConfig(
                                    mss=environment.mss))
         self.trace = TraceCollector(self.link, CLIENT_HOST)
+        self.fastforward: Optional[FastForward] = None
+        if fastpath and self.client.config.fastpath \
+                and self.server.config.fastpath:
+            self.fastforward = FastForward(
+                self.sim, self.link, (self.client, self.server),
+                self.trace)
         self.modem_up: Optional[ModemCompressor] = None
         self.modem_down: Optional[ModemCompressor] = None
         use_modem = (environment.modem_compression

@@ -117,6 +117,24 @@ class _LazyTimer:
         self.deadline = None
         self._fire()
 
+    def fast_forward(self, deadline: Optional[float]) -> None:
+        """Force the timer to exactly ``deadline`` (``None`` disarms).
+
+        Reconcile hook for the fast-forward driver: after a span the
+        clock sits past the old standing event, so re-arming must drop
+        the standing (which the driver extracted from the heap) and
+        schedule a fresh one at the final logical deadline instead of
+        letting ``arm_at`` absorb it as a re-arm-later.
+        """
+        standing = self._standing
+        if standing is not None:
+            standing.cancel()
+            self._standing = None
+        self.deadline = deadline
+        if deadline is not None:
+            self._standing = self._sim.schedule_at(deadline,
+                                                   self._on_event)
+
 
 @dataclasses.dataclass
 class TcpConfig:
@@ -153,6 +171,12 @@ class TcpConfig:
         with a 1 s floor; the floor is configurable for fast tests).
     dupack_threshold:
         Duplicate ACKs that trigger a fast retransmit.
+    fastpath:
+        Allow the flow-level fast-forward driver
+        (:mod:`repro.simnet.fastforward`) to advance this endpoint's
+        steady bulk transfers analytically.  Either endpoint setting
+        this False keeps the whole network on per-segment execution
+        (the ``--no-fastpath`` escape hatch).
     """
 
     mss: int = 1460
@@ -166,6 +190,7 @@ class TcpConfig:
     rto_min: float = 1.0
     rto_max: float = 64.0
     dupack_threshold: int = 3
+    fastpath: bool = True
 
 
 class TcpError(RuntimeError):
@@ -210,6 +235,7 @@ class TcpConnection:
         "_recovery_point", "retransmissions", "timeouts",
         "fast_retransmits",
         "_segments_unacked", "_delack_timer",
+        "_ff_unprofitable",
         "nodelay",
         "bytes_sent", "bytes_received", "segments_sent",
         "segments_received",
@@ -275,6 +301,13 @@ class TcpConnection:
         # Delayed-ACK machinery.
         self._segments_unacked = 0
         self._delack_timer = _LazyTimer(self.sim, self._delack_fire)
+
+        # Fast-forward profitability veto: set by the driver when a
+        # span on this connection synthesized too little to pay for
+        # its heap surgery (request/response traffic whose callbacks
+        # break every span early).  Vetoed connections run per-segment
+        # for the rest of their life.
+        self._ff_unprofitable = False
 
         # Socket options.
         self.nodelay = config.nodelay
@@ -548,12 +581,27 @@ class TcpConnection:
                     # Zero window with nothing in flight: only a persist
                     # probe can discover when it reopens.
                     self._arm_persist()
+                else:
+                    # Window-limited with a deep queue: flag the steady
+                    # bulk-transfer candidate for the fast-forward
+                    # driver (checked by the engine between events).
+                    ff = self.stack.fastforward
+                    if ff is not None and len(self._send_queue) \
+                            >= ff.min_queue_bytes:
+                        ff.note_candidate(self)
                 return
             chunk = min(len(self._send_queue), config.mss, available)
             if (chunk < config.mss and chunk < len(self._send_queue)
                     and self.in_flight > 0):
                 # Window fragment; wait for it to open rather than send
-                # a sliver (sender-side silly window avoidance).
+                # a sliver (sender-side silly window avoidance).  Same
+                # steady window-limited regime as `available <= 0` when
+                # the window is not a segment multiple — also a
+                # fast-forward candidate.
+                ff = self.stack.fastforward
+                if ff is not None and len(self._send_queue) \
+                        >= ff.min_queue_bytes:
+                    ff.note_candidate(self)
                 return
             if (chunk < config.mss and self.in_flight > 0
                     and not self.nodelay):
@@ -859,10 +907,10 @@ class TcpListener:
 class TcpStack:
     """Per-host TCP: port allocation, demultiplexing, connection table."""
 
-    __slots__ = ("sim", "host", "link", "config", "_connections",
-                 "_listeners", "_next_ephemeral", "total_connections",
-                 "checksum_drops", "retransmissions", "timeouts",
-                 "fast_retransmits")
+    __slots__ = ("sim", "host", "link", "config", "fastforward",
+                 "_connections", "_listeners", "_next_ephemeral",
+                 "total_connections", "checksum_drops", "retransmissions",
+                 "timeouts", "fast_retransmits")
 
     EPHEMERAL_BASE = 32768
 
@@ -872,6 +920,9 @@ class TcpStack:
         self.host = host
         self.link = link
         self.config = config or TcpConfig()
+        #: Optional fast-forward driver (set by the network wiring when
+        #: every endpoint's config allows the analytic fast path).
+        self.fastforward = None
         self._connections: Dict[Tuple[int, str, int], TcpConnection] = {}
         self._listeners: Dict[int, TcpListener] = {}
         self._next_ephemeral = self.EPHEMERAL_BASE

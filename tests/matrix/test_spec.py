@@ -134,6 +134,21 @@ def test_fault_plan_canonicalizes_to_its_name():
     assert hash(by_name) == hash(by_plan)
 
 
+# ----------------------------------------------------------------------
+# Fast-path dimension
+# ----------------------------------------------------------------------
+def test_fastpath_defaults_on_and_keys_the_cache():
+    fast = ExperimentSpec()
+    slow = ExperimentSpec(fastpath=False)
+    assert fast.fastpath is True
+    assert slow.fastpath is False
+    # Trace-identical but work-profile-different: distinct cache keys.
+    assert fast != slow
+    assert fast.canonical_dict()["fastpath"] is True
+    assert slow.canonical_dict()["fastpath"] is False
+    assert fast.replace(fastpath=False) == slow
+
+
 def test_faults_appear_in_canonical_dict():
     clean = ExperimentSpec()
     chaotic = ExperimentSpec(faults="wire-chaos")

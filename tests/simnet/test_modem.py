@@ -109,6 +109,90 @@ def test_efficiency_scales_savings():
     assert real.wire_bytes(text) > ideal.wire_bytes(text)
 
 
+def _modem_link(sim):
+    """A PPP-flavoured link with a modem pair on the a -> b direction."""
+    from repro.simnet.link import Link
+    link = Link(sim, 28_800.0, 0.075, bits_per_byte=10)
+    link.set_compressor("a", "b", ModemCompressor())
+    return link
+
+
+def test_serialization_delay_uses_compressed_wire_bytes():
+    from repro.simnet.engine import Simulator
+    from repro.simnet.packet import HEADER_BYTES, Segment
+
+    sim = Simulator()
+    link = _modem_link(sim)
+    arrivals = []
+    link.attach("b", lambda seg: arrivals.append(sim.now))
+    link.attach("a", lambda seg: None)
+    payload = b"GET /gifs/icon0.gif HTTP/1.1\r\nHost: w3.org\r\n" * 30
+    # An identical oracle modem predicts the on-the-wire size.
+    oracle = ModemCompressor()
+    wire = HEADER_BYTES + oracle.wire_bytes(payload)
+    assert wire < HEADER_BYTES + len(payload)   # really compressed
+    link.transmit(Segment("a", 1, "b", 2, payload=payload))
+    sim.run()
+    expected = wire * 10 / 28_800.0 + 0.075
+    assert arrivals == [pytest.approx(expected)]
+
+
+def test_busy_period_queues_second_segment():
+    from repro.simnet.engine import Simulator
+    from repro.simnet.packet import HEADER_BYTES, Segment
+
+    sim = Simulator()
+    link = _modem_link(sim)
+    arrivals = []
+    link.attach("b", lambda seg: arrivals.append((seg.seq, sim.now)))
+    link.attach("a", lambda seg: None)
+    payload = b"repetition repetition repetition " * 20
+    oracle = ModemCompressor()
+    wire1 = HEADER_BYTES + oracle.wire_bytes(payload)
+    wire2 = HEADER_BYTES + oracle.wire_bytes(payload)
+    assert wire2 < wire1        # the shared dictionary keeps learning
+    link.transmit(Segment("a", 1, "b", 2, seq=1, payload=payload))
+    link.transmit(Segment("a", 1, "b", 2, seq=2, payload=payload))
+    sim.run()
+    tx1 = wire1 * 10 / 28_800.0
+    tx2 = wire2 * 10 / 28_800.0
+    # FIFO busy period: the second transmission starts when the first
+    # finishes, so its delivery stacks both serialization delays.
+    assert arrivals[0] == (1, pytest.approx(tx1 + 0.075))
+    assert arrivals[1] == (2, pytest.approx(tx1 + tx2 + 0.075))
+
+
+def test_fastpath_preserves_link_busy_state_with_modem():
+    # The fast-forward driver writes its synthesized transmissions
+    # through the link's per-direction busy clock and the modem's LZW
+    # dictionary; after a fast-forwarded bulk transfer both must match
+    # per-segment execution exactly (so a later real transmit — or an
+    # eligibility check that assumes an idle link — sees the same
+    # world either way).
+    from repro.simnet.link import ENVIRONMENTS
+    from repro.simnet.network import SERVER_HOST, TwoHostNetwork
+
+    def run(fastpath):
+        net = TwoHostNetwork(ENVIRONMENTS["PPP"], seed=0, jitter=0.02,
+                             fastpath=fastpath, modem_compression=True)
+        body = (b"<html>" + b"row " * 400 + b"</html>") * 40
+
+        def on_accept(conn):
+            conn.on_connect = lambda c: c.send(body, close=True)
+
+        net.server.listen(80, on_accept)
+        net.client.connect(SERVER_HOST, 80)
+        net.run()
+        return net
+
+    fast, slow = run(True), run(False)
+    assert fast.sim.perf.fastforward_spans > 0
+    assert fast.trace.records == slow.trace.records
+    assert fast.link._next_free == slow.link._next_free
+    assert (fast.modem_down.transmitted_bytes
+            == slow.modem_down.transmitted_bytes)
+
+
 def test_realized_ratio_matches_paper_ballpark():
     """The paper's modem moved HTML at ~1.15-1.4x the line rate."""
     from repro.content import build_microscape_site
