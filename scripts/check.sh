@@ -14,6 +14,32 @@ export PYTHONPATH=src
 # reproducibility, TCP invariants) everything else rests on.
 sh scripts/lint.sh
 
+# Whole-program deep lint: cache-key completeness, RNG-stream
+# discipline, pool purity — gated against the committed baseline.
+# Fixed findings must be removed from DEEP_BASELINE.json (stale
+# entries fail the run); new findings fail outright.  The analyzer
+# runs on every check, so it also carries a wall-time budget — if it
+# ever creeps past DEEP_LINT_BUDGET seconds it is no longer a
+# pre-commit tool and the graph construction needs attention.
+python - <<'EOF'
+import os
+import subprocess
+import sys
+import time
+
+budget = float(os.environ.get("DEEP_LINT_BUDGET", "10"))
+start = time.monotonic()
+proc = subprocess.run([sys.executable, "-m", "repro", "lint", "--deep",
+                       "--baseline", "DEEP_BASELINE.json"])
+elapsed = time.monotonic() - start
+if proc.returncode != 0:
+    sys.exit(proc.returncode)
+if elapsed > budget:
+    print(f"check.sh: deep lint took {elapsed:.1f}s, over the "
+          f"{budget:.0f}s budget (DEEP_LINT_BUDGET)", file=sys.stderr)
+    sys.exit(1)
+EOF
+
 if [ "${FAST:-0}" = "1" ]; then
     python -m pytest -x -q -m "not slow"
 else

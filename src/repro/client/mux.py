@@ -61,6 +61,10 @@ class _MuxConnState:
     `_watchdog_fire` and `_check_complete` work unchanged.
     """
 
+    __slots__ = ("robot", "shard", "conn", "reader", "buffer",
+                 "streams", "outstanding", "popped", "open",
+                 "next_stream", "watchdog_event", "deadline")
+
     def __init__(self, robot: "MuxClient",
                  shard: Optional[int] = None) -> None:
         self.robot = robot
@@ -150,6 +154,10 @@ class _MuxConnState:
 
 class MuxClient(Robot):
     """Fetch a page over multiplexed framed streams (one connection)."""
+
+    # Robot itself is not slotted, so instances keep a __dict__; the
+    # declaration still catches typos on the MUX-specific attributes.
+    __slots__ = ("frame_tap", "pushes_cancelled")
 
     _conn_class = _MuxConnState
 

@@ -8,6 +8,15 @@ Two layers of correctness checking for the reproduction:
   use, OS entropy, salted-hash iteration order, exact float comparison
   on simulated clocks, mutable default arguments, and missing
   ``__slots__`` in per-packet hot-path modules.
+* **Whole-program** (:mod:`repro.lint.graph`, :mod:`repro.lint.deep`):
+  a project-wide symbol table, import graph and call graph feeding
+  three flow-aware passes — cache-key completeness (every
+  run-affecting parameter represented in ``ExperimentSpec``'s
+  canonical cache key), RNG-stream discipline (every
+  ``random.Random`` seeded from the experiment seed, no stream shared
+  between components), and pool purity (no module-global writes in
+  code reachable from ``MatrixRunner``'s chunk dispatch).  Surfaced as
+  ``python -m repro lint --deep [--baseline PATH]``.
 * **Runtime** (:mod:`repro.lint.sanitizer`): a TCP invariant checker
   that replays captured traces (or observes a live simulation through a
   link tap) and asserts the protocol behaviours the paper's results
@@ -19,7 +28,12 @@ Both layers surface through ``python -m repro lint``.
 """
 
 from .config import ALL_RULES, DEFAULT_CONFIG, LintConfig
-from .findings import Finding, format_json, format_text
+from .deep import (DEEP_RULES, DEFAULT_DEEP_CONFIG, DeepConfig,
+                   DeepError, apply_baseline, load_baseline, run_deep,
+                   write_baseline)
+from .findings import (Finding, finding_sort_key, format_json,
+                       format_text)
+from .graph import ProjectGraph, build_graph
 from .sanitizer import (
     FrameStreamValidator,
     InvariantViolationError,
@@ -38,7 +52,18 @@ __all__ = [
     "ALL_RULES",
     "DEFAULT_CONFIG",
     "LintConfig",
+    "DEEP_RULES",
+    "DEFAULT_DEEP_CONFIG",
+    "DeepConfig",
+    "DeepError",
+    "apply_baseline",
+    "load_baseline",
+    "run_deep",
+    "write_baseline",
+    "ProjectGraph",
+    "build_graph",
     "Finding",
+    "finding_sort_key",
     "format_json",
     "format_text",
     "LintError",

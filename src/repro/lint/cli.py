@@ -1,14 +1,20 @@
 """The ``python -m repro lint`` verb.
 
 Layer 1 (always): statically lint the given paths (default:
-``src/repro``) with the determinism rules.  Layer 2 (opt-in via
-``--sanitize-traces``): replay captured trace files through the TCP
-protocol sanitizer; with no file arguments the four golden WAN fixtures
-under ``tests/simnet/fixtures/`` are validated.
+``src/repro``) with the per-file determinism rules.  Layer 2 (opt-in
+via ``--deep``): build the whole-program graph and run the flow-aware
+passes of :mod:`repro.lint.deep` (cache-key completeness, RNG-stream
+discipline, pool purity), optionally filtered through a committed
+``--baseline`` file.  Layer 3 (opt-in via ``--sanitize-traces``):
+replay captured trace files through the TCP protocol sanitizer; with
+no file arguments the golden fixtures under ``tests/simnet/fixtures/``
+are validated.
 
-Exit codes: 0 clean, 1 findings or invariant violations, 2 usage error
-(bad path, unparsable trace).  ``--json`` emits one machine-readable
-document combining both layers.
+Exit codes: 0 clean, 1 findings or invariant violations, 2 usage or
+configuration error (bad path, unparsable trace, malformed baseline).
+``--json`` emits one machine-readable document combining all layers;
+findings are always sorted by ``(path, line, col, rule)`` and carry a
+stable ``id`` so baselines diff cleanly.
 """
 
 from __future__ import annotations
@@ -21,7 +27,10 @@ import sys
 from typing import Dict, List
 
 from .config import ALL_RULES, DEFAULT_CONFIG
-from .findings import format_text
+from .deep import (DEEP_RULES, DEFAULT_DEEP_CONFIG, DeepError,
+                   apply_baseline, load_baseline, run_deep,
+                   write_baseline)
+from .findings import Finding, finding_sort_key, format_text
 from .sanitizer import (ModeTraceRules, SanitizerConfig, Violation,
                         validate_trace_text)
 from .static import LintError, lint_paths
@@ -39,17 +48,33 @@ GOLDEN_TRACE_DIR = "tests/simnet/fixtures"
 def add_lint_parser(sub: argparse._SubParsersAction) -> None:
     """Register the ``lint`` subcommand on the CLI's subparsers."""
     rules = ", ".join(sorted(ALL_RULES))
+    deep_rules = ", ".join(sorted(DEEP_RULES))
     lint = sub.add_parser(
         "lint",
-        help="determinism linter + TCP trace sanitizer",
-        description=f"Static determinism rules ({rules}) plus the "
-                    "runtime TCP protocol sanitizer over captured "
+        help="determinism linter + whole-program analyzer + TCP trace "
+             "sanitizer",
+        description=f"Static determinism rules ({rules}), the "
+                    f"whole-program deep passes ({deep_rules}), and "
+                    "the runtime TCP protocol sanitizer over captured "
                     "traces.")
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help=f"files/directories to lint (default: "
                            f"{DEFAULT_LINT_PATH})")
     lint.add_argument("--json", action="store_true",
                       help="emit findings and violations as JSON")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the whole-program passes "
+                           "(cache-key completeness, RNG-stream "
+                           "discipline, pool purity) over the first "
+                           "lint path")
+    lint.add_argument("--baseline", metavar="PATH", default=None,
+                      help="JSON baseline of accepted deep findings; "
+                           "baselined ids are suppressed, entries that "
+                           "no longer fire are reported as "
+                           "stale-baseline findings")
+    lint.add_argument("--write-baseline", metavar="PATH", default=None,
+                      help="write the current deep findings to PATH "
+                           "as a fresh baseline and exit 0")
     lint.add_argument("--sanitize-traces", nargs="*", metavar="TRACE",
                       default=None,
                       help="also validate trace files against the TCP "
@@ -114,6 +139,28 @@ def run_lint(args: argparse.Namespace) -> int:
     except LintError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
+
+    deep_wanted = (args.deep or args.baseline is not None
+                   or args.write_baseline is not None)
+    if deep_wanted:
+        try:
+            deep_findings = run_deep(paths[0], DEFAULT_DEEP_CONFIG)
+            if args.write_baseline is not None:
+                write_baseline(deep_findings, args.write_baseline)
+                print(f"lint: wrote {len(deep_findings)} deep "
+                      f"finding(s) to {args.write_baseline}",
+                      file=sys.stderr)
+                return 0
+            if args.baseline is not None:
+                baseline = load_baseline(args.baseline)
+                deep_findings, stale = apply_baseline(
+                    deep_findings, baseline, args.baseline)
+                deep_findings.extend(stale)
+        except DeepError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        findings = sorted(findings + deep_findings,
+                          key=finding_sort_key)
 
     trace_violations: Dict[str, List[Violation]] = {}
     if args.sanitize_traces is not None:

@@ -103,5 +103,13 @@ DEFAULT_CONFIG = LintConfig(
         # pool machinery is touched once per dispatch chunk.
         "content/artifacts.py",
         "matrix/runner.py",
+        # The MUX client's per-stream/per-connection state is allocated
+        # on every stream open and touched on every frame delivery.
+        "client/mux.py",
+        # The real-socket pair runs per-connection threads; __slots__
+        # is the same typo firewall there (a misspelled stats-counter
+        # write must raise, not silently create fresh state).
+        "realnet/client.py",
+        "realnet/server.py",
     ),
 )

@@ -27,8 +27,8 @@ from ..core.registry import (MODE_ALIASES, MODES, PROFILES, TABLE_CELLS,
                              resolve_scenario)
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .runner import CellEvent, MatrixRunner, MatrixStats, run_unit
-from .spec import (DEFAULT_SEEDS, ExperimentMatrix, ExperimentSpec,
-                   client_config_overrides)
+from .spec import (CACHE_KEY_FIELDS, DEFAULT_SEEDS, ExperimentMatrix,
+                   ExperimentSpec, client_config_overrides)
 
 __all__ = [
     "MODE_ALIASES", "MODES", "PROFILES", "TABLE_CELLS",
@@ -36,6 +36,6 @@ __all__ = [
     "resolve_profile", "resolve_scenario",
     "DEFAULT_CACHE_DIR", "ResultCache",
     "CellEvent", "MatrixRunner", "MatrixStats", "run_unit",
-    "DEFAULT_SEEDS", "ExperimentMatrix", "ExperimentSpec",
-    "client_config_overrides",
+    "CACHE_KEY_FIELDS", "DEFAULT_SEEDS", "ExperimentMatrix",
+    "ExperimentSpec", "client_config_overrides",
 ]

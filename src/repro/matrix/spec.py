@@ -30,11 +30,22 @@ from ..core.runner import DEFAULT_JITTER
 from ..server.profiles import ServerProfile
 from ..simnet.link import NetworkEnvironment
 
-__all__ = ["DEFAULT_SEEDS", "ExperimentSpec", "ExperimentMatrix",
-           "client_config_overrides"]
+__all__ = ["CACHE_KEY_FIELDS", "DEFAULT_SEEDS", "ExperimentSpec",
+           "ExperimentMatrix", "client_config_overrides"]
 
 #: The paper averaged five seeded runs per cell.
 DEFAULT_SEEDS: Tuple[int, ...] = (0, 1, 2, 3, 4)
+
+#: The spec fields that form a cell's cache identity, in canonical
+#: order.  ``canonical_dict()`` emits exactly these; the deep linter's
+#: cache-key-completeness pass checks every run-affecting spec field is
+#: listed here (``seeds`` is deliberately absent — the cache keys each
+#: (cell, seed) unit separately, so seeds select units rather than
+#: identify the cell).
+CACHE_KEY_FIELDS: Tuple[str, ...] = (
+    "mode", "scenario", "environment", "server", "jitter",
+    "client_overrides", "verify", "max_sim_time", "faults", "fastpath",
+)
 
 _CLIENT_FIELDS = {field.name for field in
                   dataclasses.fields(ClientConfig)}
@@ -181,19 +192,13 @@ class ExperimentSpec:
         (cell, seed) unit separately so re-averaging over a different
         seed list reuses every unit already measured.
         """
-        return {
-            "mode": self.mode,
-            "scenario": self.scenario,
-            "environment": self.environment,
-            "server": self.server,
-            "jitter": self.jitter,
-            "client_overrides": [[name, value] for name, value
-                                 in self.client_overrides],
-            "verify": self.verify,
-            "max_sim_time": self.max_sim_time,
-            "faults": self.faults,
-            "fastpath": self.fastpath,
-        }
+        out: Dict[str, Any] = {}
+        for name in CACHE_KEY_FIELDS:
+            value = getattr(self, name)
+            if name == "client_overrides":
+                value = [[key, item] for key, item in value]
+            out[name] = value
+        return out
 
     # ------------------------------------------------------------------
     # Construction helpers

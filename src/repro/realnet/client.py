@@ -27,6 +27,9 @@ class RealHttpClient:
     >>> responses = client.pipeline(["/a.gif", "/b.gif"])  # doctest: +SKIP
     """
 
+    __slots__ = ("host", "port", "user_agent", "timeout", "cache",
+                 "_socket", "_parser", "connections_opened")
+
     def __init__(self, host: str, port: int, *,
                  user_agent: str = "repro-realnet/1.0",
                  timeout: float = 5.0,

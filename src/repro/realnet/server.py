@@ -41,6 +41,10 @@ class RealHttpServer:
     modelling does not apply here.
     """
 
+    __slots__ = ("store", "profile", "clock", "_listen_address",
+                 "_socket", "_accept_thread", "_running", "_lock",
+                 "requests_served", "connections_accepted")
+
     def __init__(self, store: ResourceStore,
                  profile: ServerProfile = APACHE,
                  host: str = "127.0.0.1", port: int = 0,

@@ -1,0 +1,7 @@
+"""Deep-corpus: the forwarding layer omits ``turbo`` entirely."""
+
+from .runner import run_experiment
+
+
+def run_unit(spec, seed):
+    return run_experiment(spec.mode, jitter=spec.jitter, seed=seed)

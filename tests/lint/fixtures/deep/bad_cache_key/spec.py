@@ -1,0 +1,17 @@
+"""Deep-corpus: a spec with an unkeyed field and a stale key entry.
+
+``jitter`` is a real dataclass field missing from ``CACHE_KEY_FIELDS``
+(cache-key-missing); ``ghost`` is a key entry matching no field
+(cache-key-stale); ``seeds`` is covered by the default waiver.
+"""
+
+import dataclasses
+
+CACHE_KEY_FIELDS = ("mode", "ghost")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentSpec:
+    mode: str = "demo"
+    jitter: float = 0.0
+    seeds: tuple = (0,)

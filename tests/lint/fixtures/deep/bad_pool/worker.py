@@ -1,0 +1,27 @@
+"""Deep-corpus: module-global writes reachable from the pool dispatch.
+
+``classify`` runs under ``_pool_chunk_entry`` and both rebinds a
+module global and mutates a module-level memo dict (pool-global-write,
+twice).  ``offline_report`` does the same writes but is unreachable
+from the dispatch, so it stays clean.
+"""
+
+_MEMO = {}
+_COUNT = 0
+
+
+def _pool_chunk_entry(chunk):
+    return [classify(item) for item in chunk]
+
+
+def classify(item):
+    global _COUNT
+    _COUNT += 1
+    _MEMO[item] = item * 2
+    return _MEMO[item]
+
+
+def offline_report():
+    global _COUNT
+    _COUNT = 0
+    return dict(_MEMO)

@@ -69,6 +69,72 @@ def test_sanitize_traces_rejects_corrupt(tmp_path, capsys):
     assert "handshake-order" in rules
 
 
+DEEP_FIXTURES = FIXTURES / "deep"
+
+
+def test_deep_flag_exits_dirty_on_corpus(capsys):
+    code = main(["lint", "--deep", str(DEEP_FIXTURES / "bad_rng")])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "[rng-seed-origin]" in out
+    assert "[rng-shared-stream]" in out
+
+
+def test_deep_src_clean_under_committed_baseline(capsys, monkeypatch):
+    monkeypatch.chdir(REPO)
+    code = main(["lint", "--deep", "--baseline", "DEEP_BASELINE.json",
+                 "src/repro"])
+    assert code == 0
+    assert "clean" in capsys.readouterr().err
+
+
+def test_write_baseline_then_reuse_then_stale(tmp_path, capsys):
+    target = str(DEEP_FIXTURES / "bad_pool")
+    base = tmp_path / "baseline.json"
+    assert main(["lint", "--deep", "--write-baseline", str(base),
+                 target]) == 0
+    # --baseline alone implies the deep passes.
+    assert main(["lint", "--baseline", str(base), target]) == 0
+    payload = json.loads(base.read_text(encoding="utf-8"))
+    payload["findings"].append({"id": "feedface0000",
+                                "rule": "pool-global-write",
+                                "path": "gone.py"})
+    base.write_text(json.dumps(payload), encoding="utf-8")
+    assert main(["lint", "--baseline", str(base), target]) == 1
+    assert "[stale-baseline]" in capsys.readouterr().out
+
+
+def test_malformed_baseline_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{", encoding="utf-8")
+    code = main(["lint", "--deep", "--baseline", str(bad),
+                 str(DEEP_FIXTURES / "bad_pool")])
+    assert code == 2
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_missing_baseline_is_usage_error(capsys):
+    code = main(["lint", "--deep", "--baseline", "no/such/base.json",
+                 str(DEEP_FIXTURES / "bad_pool")])
+    assert code == 2
+    assert "lint:" in capsys.readouterr().err
+
+
+def test_deep_json_findings_carry_sorted_stable_ids(capsys):
+    code = main(["lint", "--json", "--deep",
+                 str(DEEP_FIXTURES / "bad_cache_key")])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    findings = payload["findings"]
+    assert findings
+    for finding in findings:
+        int(finding["id"], 16)
+        assert len(finding["id"]) == 12
+    keys = [(f["path"], f["line"], f["col"], f["rule"])
+            for f in findings]
+    assert keys == sorted(keys)
+
+
 def test_missing_lint_path_is_usage_error(capsys):
     assert main(["lint", "no/such/dir_xyz"]) == 2
     assert "lint:" in capsys.readouterr().err

@@ -116,6 +116,17 @@ def test_canonical_dict_is_json_stable_and_seedless():
     assert "seeds" not in a.canonical_dict()
 
 
+def test_cache_key_fields_cover_the_spec():
+    """CACHE_KEY_FIELDS is the single source of the cell identity."""
+    from repro.matrix import CACHE_KEY_FIELDS
+    spec = ExperimentSpec()
+    assert list(spec.canonical_dict()) == list(CACHE_KEY_FIELDS)
+    field_names = {f.name for f in dataclasses.fields(ExperimentSpec)}
+    # Every spec field is either cache-keyed or the unit-level seeds
+    # axis (each (cell, seed) unit is keyed separately).
+    assert field_names == set(CACHE_KEY_FIELDS) | {"seeds"}
+
+
 def test_replace_recanonicalizes():
     spec = ExperimentSpec().replace(mode="1.0", environment="ppp")
     assert spec.mode == "HTTP/1.0"
