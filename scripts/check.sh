@@ -89,6 +89,54 @@ python -m repro chaos --seed 1997 --only wire-chaos:mux-push:WAN \
 python -m repro chaos --seed 1997 --only hostile-server:sharded:WAN \
     > /dev/null
 
+# Harness-chaos smoke: SIGKILL a pool worker mid-chunk during a
+# 12-unit grid and require the supervisor to respawn the pool, retry
+# the lost units, and finish with numbers byte-identical to an
+# undisturbed serial run — inside a wall-time budget (default 120 s;
+# a wedged drain would otherwise hang this script forever).
+python - <<'EOF'
+import os
+import time
+
+from repro.faults import HarnessFaultPlan
+from repro.matrix import ExperimentSpec, MatrixRunner
+
+specs = [ExperimentSpec(mode=mode, scenario="revalidate",
+                        environment="LAN", server=server,
+                        seeds=(0, 1, 2))
+         for mode in ("pipelined", "HTTP/1.1")
+         for server in ("Apache", "Jigsaw")]
+
+serial = MatrixRunner(jobs=1).run_many(specs)
+
+budget = float(os.environ.get("HARNESS_CHAOS_BUDGET", "120"))
+plan = HarnessFaultPlan(name="smoke-kill", kill_unit=4)
+start = time.monotonic()
+with MatrixRunner(jobs=2, chunk_size=2, harness_faults=plan,
+                  unit_deadline=30.0) as runner:
+    supervised = runner.run_many(specs)
+    stats = runner.stats
+elapsed = time.monotonic() - start
+
+if elapsed > budget:
+    raise SystemExit(f"check.sh: harness-chaos smoke took "
+                     f"{elapsed:.1f}s, over the {budget:.0f}s budget")
+if stats.pool_respawns < 1:
+    raise SystemExit("check.sh: worker kill never triggered a "
+                     "pool respawn")
+if stats.failures:
+    raise SystemExit(f"check.sh: {stats.failures} unit(s) were "
+                     f"quarantined instead of recovered")
+for a, b in zip(serial, supervised):
+    if a.packets != b.packets or a.elapsed != b.elapsed \
+            or a.percent_overhead != b.percent_overhead:
+        raise SystemExit(f"check.sh: supervised recovery diverged "
+                         f"from serial on {b.runs and b.runs[0]}")
+print(f"harness-chaos smoke: recovered from worker kill in "
+      f"{elapsed:.1f}s ({stats.pool_respawns} respawn(s), "
+      f"{stats.unit_retries} retries)")
+EOF
+
 # Fast-path identity smoke: the flow-level fast-forward driver must be
 # byte-invisible.  One full-stack HTTP cell guards the decline path
 # (request/response traffic sits below the profitability threshold),

@@ -34,8 +34,17 @@ worker processes), ``--cache`` (reuse results from ``.repro-cache/``)
 and ``--cache-dir PATH``; these plus ``run`` and ``bench`` accept
 ``--no-artifact-cache`` (disable the content-addressed encode memo
 under ``.repro-cache/artifacts/``).  ``bench --matrix`` times a
-24-cell grid cold vs. warm through the persistent worker pool.  All
-name resolution goes through the same
+24-cell grid cold vs. warm through the persistent worker pool.
+
+Supervised execution (``table`` / ``modem`` / ``report``):
+``--retry-budget N`` caps per-unit re-dispatches after a failure,
+``--unit-deadline S`` bounds a unit's wall-clock time in a worker, and
+``--journal`` records every resolved unit into a crash-safe run
+journal under ``.repro-cache/runs/``; ``--resume RUN_ID`` replays a
+recorded run's units byte-identically and simulates only what is
+missing (``chaos`` supports journaling too, at cell granularity).
+
+All name resolution goes through the same
 :mod:`repro.core.registry` the library API uses, so every spelling
 accepted here ("pipelined", "1.1", "ppp", "jigsaw") works in code too.
 """
@@ -52,24 +61,61 @@ from .analysis import (generate_experiments_report,
                        reproduce_modem_experiment,
                        reproduce_protocol_table, reproduce_table3)
 from .core import TABLE_CELLS, UnknownNameError, run_experiment
-from .matrix import CellEvent, MatrixRunner, ResultCache
+from .matrix import (DEFAULT_RETRY_BUDGET, CellEvent, MatrixRunner,
+                     ResultCache)
 
 
 def _print_progress(event: CellEvent) -> None:
-    tag = "cache" if event.status == "hit" else f"{event.wall_time:5.2f}s"
+    if event.status == "hit":
+        tag = "cache"
+    elif event.status == "failed":
+        tag = f"FAIL attempt {event.attempt}"
+    elif event.status == "retried":
+        tag = f"retry attempt {event.attempt}"
+    else:
+        tag = f"{event.wall_time:5.2f}s"
     print(f"  [{event.completed}/{event.total}] {event.label} "
           f"seed={event.seed} ({tag})", file=sys.stderr)
 
 
+#: Flags that do not change *what* is computed, excluded from derived
+#: journal run ids so re-invocations with different machinery (jobs,
+#: progress, cache toggles) resume the same journal.
+_RUN_ID_SKIP = frozenset((
+    "fn", "command", "journal", "resume", "progress", "jobs", "cache",
+    "cache_dir", "no_artifact_cache", "retry_budget", "unit_deadline"))
+
+
+def _journal_run_id(args: argparse.Namespace) -> str:
+    """Derive a stable run id from the verb and its workload flags."""
+    import hashlib
+    import json
+    workload = {key: value for key, value in sorted(vars(args).items())
+                if key not in _RUN_ID_SKIP}
+    digest = hashlib.sha256(json.dumps(
+        workload, sort_keys=True, default=str).encode("utf-8"))
+    return f"{args.command}-{digest.hexdigest()[:10]}"
+
+
 def _make_runner(args: argparse.Namespace) -> MatrixRunner:
-    """Build the MatrixRunner the parallel/cache flags describe."""
+    """Build the MatrixRunner the parallel/cache/robustness flags ask."""
     cache = None
     if getattr(args, "cache", False) or args.cache_dir is not None:
         cache = ResultCache(args.cache_dir) if args.cache_dir \
             else ResultCache()
     progress = _print_progress if getattr(args, "progress", False) \
         else None
-    return MatrixRunner(jobs=args.jobs, cache=cache, progress=progress)
+    journal = None
+    resume = getattr(args, "resume", None)
+    if resume or getattr(args, "journal", False):
+        from .matrix import RunJournal
+        journal = RunJournal(resume or _journal_run_id(args))
+        print(f"journal: {journal.run_id}", file=sys.stderr)
+    return MatrixRunner(
+        jobs=args.jobs, cache=cache, progress=progress, journal=journal,
+        retry_budget=getattr(args, "retry_budget",
+                             DEFAULT_RETRY_BUDGET),
+        unit_deadline=getattr(args, "unit_deadline", None))
 
 
 def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
@@ -81,6 +127,23 @@ def _add_matrix_flags(parser: argparse.ArgumentParser) -> None:
                         help="cache directory (implies --cache)")
     parser.add_argument("--progress", action="store_true",
                         help="print per-cell progress to stderr")
+    parser.add_argument("--retry-budget", type=int,
+                        default=DEFAULT_RETRY_BUDGET, metavar="N",
+                        help="parallel re-dispatches allowed per "
+                             "failing unit before downgrade/quarantine "
+                             f"(default {DEFAULT_RETRY_BUDGET})")
+    parser.add_argument("--unit-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per unit in a worker "
+                             "(default: derived from the cell's "
+                             "max_sim_time)")
+    parser.add_argument("--journal", action="store_true",
+                        help="record resolved units into a crash-safe "
+                             "run journal (.repro-cache/runs/)")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                        help="resume a journaled run: replay recorded "
+                             "units byte-identically, simulate only "
+                             "the rest (implies --journal)")
     _add_artifact_flag(parser)
 
 

@@ -12,7 +12,10 @@ Tables 3–11 is.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import math
 import statistics
+import traceback
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..client.robot import ClientConfig, FetchResult
@@ -33,8 +36,8 @@ from .registry import (resolve_environment, resolve_mode, resolve_profile,
 from .scenarios import FIRST_TIME, REVALIDATE, prefill_cache
 
 __all__ = ["RunResult", "AveragedResult", "ExperimentError",
-           "run_experiment", "run_repeated", "warm_default_site",
-           "reset_default_site"]
+           "UnitFailure", "run_experiment", "run_repeated",
+           "warm_default_site", "reset_default_site"]
 
 #: Default jitter: a small seeded variation standing in for the network
 #: fluctuations the paper averaged over five runs.
@@ -87,13 +90,70 @@ class RunResult:
     trace_lines: Optional[str] = None
 
 
+@dataclasses.dataclass(frozen=True)
+class UnitFailure:
+    """A (cell, seed) work unit the engine could not complete.
+
+    Failed units no longer abort a grid: the supervised
+    :class:`~repro.matrix.runner.MatrixRunner` quarantines the unit as
+    one of these — exception text, a stable digest of the traceback,
+    the attempt count the retry ladder spent — and sibling units keep
+    running.  Failures ride along in :attr:`AveragedResult.failures`
+    and are excluded from every averaged measurement column.
+    """
+
+    label: str
+    seed: int
+    #: ``"exception"`` (the unit raised), ``"deadline"`` (its worker
+    #: blew the wall-clock budget) or ``"worker-lost"`` (its worker
+    #: process died mid-chunk).
+    kind: str
+    #: ``ExceptionType: message`` for exception failures, else a short
+    #: description of what the supervisor observed.
+    error: str
+    #: First 12 hex digits of the SHA-256 of the formatted traceback
+    #: ("" when there was no Python-level exception).  Stable across
+    #: processes, so identical crashes dedupe by digest.
+    traceback_digest: str
+    #: Total attempts the retry ladder made before quarantining.
+    attempts: int
+
+    @classmethod
+    def from_exception(cls, label: str, seed: int, exc: BaseException,
+                       *, attempts: int = 1) -> "UnitFailure":
+        text = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+        return cls(label=label, seed=int(seed), kind="exception",
+                   error=f"{type(exc).__name__}: {exc}",
+                   traceback_digest=digest, attempts=int(attempts))
+
+    def summary(self) -> str:
+        return (f"{self.label} seed={self.seed}: {self.kind} after "
+                f"{self.attempts} attempt(s): {self.error}")
+
+
 @dataclasses.dataclass
 class AveragedResult:
-    """Mean of several seeded runs — what the paper's tables print."""
+    """Mean of several seeded runs — what the paper's tables print.
+
+    Quarantined units arrive as :class:`UnitFailure` entries in
+    :attr:`failures`; the averaged properties cover the successful runs
+    only (and read as NaN when every unit of the cell failed, so a
+    wrecked cell is loud in any table instead of silently zero).
+    """
 
     runs: List[RunResult]
+    failures: List[UnitFailure] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every requested unit produced a measurement."""
+        return not self.failures
 
     def _mean(self, attribute: str) -> float:
+        if not self.runs:
+            return math.nan
         return statistics.fmean(getattr(r, attribute) for r in self.runs)
 
     @property
@@ -126,6 +186,8 @@ class AveragedResult:
 
     @property
     def max_parallel_connections(self) -> float:
+        if not self.runs:
+            return math.nan
         return max(r.max_parallel_connections for r in self.runs)
 
     @property

@@ -9,12 +9,17 @@ reproducible:
   mid-response aborts, stalls, close-after-one-response);
 * :mod:`~repro.faults.plan` — named plans combining both, swept by the
   ``python -m repro chaos`` verb (:mod:`~repro.faults.chaos`, imported
-  only by the CLI to keep this package free of runner dependencies).
+  only by the CLI to keep this package free of runner dependencies);
+* :mod:`~repro.faults.harness` — machine faults against the experiment
+  harness itself (worker kills, hung cells, poison cells), consumed by
+  the matrix supervisor and the chaos smokes.
 
 :mod:`~repro.faults.recovery` holds the shared :class:`RecoveryLog`
 that every layer writes fault hits and recovery actions into.
 """
 
+from .harness import (HARNESS_PLANS, HarnessFaultPlan,
+                      HarnessPoisonError, resolve_harness_plan)
 from .injector import FaultInjector, LinkFaultConfig
 from .plan import FAULT_PLANS, FaultPlan, resolve_fault_plan
 from .recovery import RecoveryEvent, RecoveryLog
@@ -26,6 +31,10 @@ __all__ = [
     "FaultPlan",
     "FAULT_PLANS",
     "resolve_fault_plan",
+    "HarnessFaultPlan",
+    "HarnessPoisonError",
+    "HARNESS_PLANS",
+    "resolve_harness_plan",
     "RecoveryEvent",
     "RecoveryLog",
     "FaultyProfile",

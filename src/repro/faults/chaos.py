@@ -12,15 +12,24 @@ LAN is excluded on purpose: its sub-millisecond RTT makes stall/abort
 timings trivial, and the paper's robustness lessons are about slow
 paths.  Seeds are derived per-cell (stable hash of the coordinates plus
 the base seed) so no two cells share a fault schedule.
+
+``--journal`` records each completed cell's printed row into a
+crash-safe :class:`~repro.matrix.journal.RunJournal` (keyed by a
+stable hash of the cell coordinates, seed and package version);
+``--resume RUN_ID`` replays recorded rows verbatim and simulates only
+the missing cells.  Failed cells are never journaled, so a resume
+always re-attempts them.
 """
 
 from __future__ import annotations
 
 import argparse
+import hashlib
 import sys
 import zlib
 from typing import List, Optional, Tuple
 
+from .. import __version__
 from ..core.runner import ExperimentError, run_experiment
 from .plan import FAULT_PLANS
 
@@ -52,11 +61,27 @@ def _cell_seed(base_seed: int, plan: str, mode: str,
     return base_seed + zlib.crc32(tag) % 100_000
 
 
+def _chaos_cell_key(seed: int, plan: str, mode: str,
+                    environment: str) -> str:
+    """Stable journal key for one chaos cell (versioned, seed-bound)."""
+    tag = f"{__version__}:chaos:{seed}:{plan}:{mode}:{environment}"
+    return hashlib.sha256(tag.encode("utf-8")).hexdigest()
+
+
 def run_chaos(seed: int = 1997, only: Optional[str] = None,
-              out=None) -> int:
-    """Run the chaos grid; returns a process exit status."""
+              out=None, journal=None) -> int:
+    """Run the chaos grid; returns a process exit status.
+
+    ``journal`` (a :class:`~repro.matrix.journal.RunJournal`) makes the
+    sweep resumable at cell granularity: completed cells store their
+    printed row and are replayed verbatim on the next run.
+    """
     if out is None:
         out = sys.stdout
+    journal_records = {}
+    if journal is not None:
+        journal.begin()
+        journal_records = journal.load()
     cells = chaos_cells()
     if only is not None:
         try:
@@ -76,7 +101,15 @@ def run_chaos(seed: int = 1997, only: Optional[str] = None,
     print(header, file=out)
     print("-" * len(header), file=out)
     failures = 0
+    replayed = 0
     for plan, mode, environment in cells:
+        cell_key = _chaos_cell_key(seed, plan, mode, environment)
+        record = journal_records.get(cell_key)
+        if record is not None and record.get("status") == "ok" \
+                and isinstance(record.get("row"), str):
+            print(record["row"], file=out)
+            replayed += 1
+            continue
         cell_seed = _cell_seed(seed, plan, mode, environment)
         try:
             result = run_experiment(
@@ -92,10 +125,15 @@ def run_chaos(seed: int = 1997, only: Optional[str] = None,
         trace = result.trace
         drops = trace.dropped_loss + trace.dropped_overflow
         recovery = trace.recovery.summary() if trace.recovery else "clean"
-        print(f"{plan:15s} {mode:20s} {environment:4s} "
-              f"{result.elapsed:8.2f} {result.retries:7d} "
-              f"{trace.retransmissions:5d} {drops:6d} {recovery}",
-              file=out)
+        row = (f"{plan:15s} {mode:20s} {environment:4s} "
+               f"{result.elapsed:8.2f} {result.retries:7d} "
+               f"{trace.retransmissions:5d} {drops:6d} {recovery}")
+        print(row, file=out)
+        if journal is not None:
+            journal.record(cell_key, {"status": "ok", "row": row})
+    if replayed:
+        print(f"({replayed} cells replayed from journal "
+              f"{journal.run_id})", file=sys.stderr)
     total = len(cells)
     if failures:
         print(f"\n{failures}/{total} cells FAILED (seed {seed})",
@@ -107,7 +145,12 @@ def run_chaos(seed: int = 1997, only: Optional[str] = None,
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
-    return run_chaos(seed=args.seed, only=args.only)
+    journal = None
+    if args.resume or args.journal:
+        from ..matrix.journal import RunJournal
+        journal = RunJournal(args.resume or f"chaos-{args.seed}")
+        print(f"journal: {journal.run_id}", file=sys.stderr)
+    return run_chaos(seed=args.seed, only=args.only, journal=journal)
 
 
 def add_chaos_parser(sub) -> None:
@@ -120,4 +163,10 @@ def add_chaos_parser(sub) -> None:
     chaos.add_argument("--only", default=None, metavar="PLAN:MODE:ENV",
                        help="run a single cell, e.g. "
                             "bursty-loss:pipelined:WAN")
+    chaos.add_argument("--journal", action="store_true",
+                       help="record completed cells into a crash-safe "
+                            "run journal (.repro-cache/runs/chaos-SEED)")
+    chaos.add_argument("--resume", default=None, metavar="RUN_ID",
+                       help="resume a journaled sweep: replay recorded "
+                            "cells verbatim, run only the rest")
     chaos.set_defaults(fn=_cmd_chaos)

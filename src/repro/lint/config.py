@@ -80,7 +80,10 @@ DEFAULT_CONFIG = LintConfig(
         # work (benchmark repetitions, per-cell wall time).  Everything
         # else — including repro.realnet since its clock became
         # injectable — must go through an injected clock or sim.now.
-        "wall-clock": ("repro/perf.py", "repro/matrix/runner.py"),
+        "wall-clock": ("repro/perf.py", "repro/matrix/runner.py",
+                       # The supervisor's whole job is wall-clock
+                       # deadlines on real worker processes.
+                       "repro/matrix/supervisor.py"),
         # The one sanctioned pool: MatrixRunner's persistent, warmed,
         # chunk-dispatching pool.  Ad-hoc pools elsewhere would skip
         # the artifact-store propagation and site warm-up that keep
@@ -103,6 +106,10 @@ DEFAULT_CONFIG = LintConfig(
         # pool machinery is touched once per dispatch chunk.
         "content/artifacts.py",
         "matrix/runner.py",
+        # The supervisor polls in-flight chunks at 20 Hz; the journal
+        # is written once per resolved unit.
+        "matrix/supervisor.py",
+        "matrix/journal.py",
         # The MUX client's per-stream/per-connection state is allocated
         # on every stream open and touched on every frame delivery.
         "client/mux.py",

@@ -19,23 +19,34 @@ x 2-servers grid (times five seeds per cell) into data::
 * :class:`ResultCache` — content-addressed JSON store under
   ``.repro-cache/``; a second ``python -m repro report --cache``
   simulates nothing.
+* :class:`~repro.matrix.supervisor.Supervisor` — supervised pool
+  execution: per-unit deadlines, dead/hung-worker recovery, capped
+  retries and :class:`~repro.core.runner.UnitFailure` quarantine.
+* :class:`RunJournal` — crash-safe per-run record of resolved units;
+  ``--resume RUN_ID`` replays it byte-identically.
 """
 
 from ..core.registry import (MODE_ALIASES, MODES, PROFILES, TABLE_CELLS,
                              UnknownNameError, resolve_environment,
                              resolve_mode, resolve_profile,
                              resolve_scenario)
-from .cache import DEFAULT_CACHE_DIR, ResultCache
+from ..core.runner import UnitFailure
+from .cache import DEFAULT_CACHE_DIR, ResultCache, unit_key
+from .journal import DEFAULT_RUNS_DIR, RunJournal
 from .runner import CellEvent, MatrixRunner, MatrixStats, run_unit
 from .spec import (CACHE_KEY_FIELDS, DEFAULT_SEEDS, ExperimentMatrix,
                    ExperimentSpec, client_config_overrides)
+from .supervisor import DEADLINE_GRACE, DEFAULT_RETRY_BUDGET, Supervisor
 
 __all__ = [
     "MODE_ALIASES", "MODES", "PROFILES", "TABLE_CELLS",
     "UnknownNameError", "resolve_environment", "resolve_mode",
     "resolve_profile", "resolve_scenario",
-    "DEFAULT_CACHE_DIR", "ResultCache",
+    "DEFAULT_CACHE_DIR", "ResultCache", "unit_key",
+    "DEFAULT_RUNS_DIR", "RunJournal",
     "CellEvent", "MatrixRunner", "MatrixStats", "run_unit",
+    "DEADLINE_GRACE", "DEFAULT_RETRY_BUDGET", "Supervisor",
+    "UnitFailure",
     "CACHE_KEY_FIELDS", "DEFAULT_SEEDS", "ExperimentMatrix",
     "ExperimentSpec", "client_config_overrides",
 ]

@@ -28,7 +28,7 @@ from .. import __version__
 from ..core.runner import RunResult
 from .spec import ExperimentSpec
 
-__all__ = ["DEFAULT_CACHE_DIR", "ResultCache",
+__all__ = ["DEFAULT_CACHE_DIR", "ResultCache", "unit_key",
            "result_to_payload", "result_from_payload"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -47,6 +47,24 @@ RESULT_FIELDS = (
     "dropped_loss", "dropped_overflow", "retransmissions", "timeouts",
     "fast_retransmits", "checksum_drops",
 )
+
+
+def unit_key(spec: ExperimentSpec, seed: int, *,
+             version: str = __version__) -> str:
+    """Stable content hash identifying one (cell, seed) work unit.
+
+    The shared identity of the result cache and the run journal: the
+    SHA-256 of the spec's canonical JSON plus the seed and the package
+    version, so any change to the experiment (or a version bump)
+    yields a different unit.
+    """
+    identity = {
+        "version": version,
+        "seed": int(seed),
+        "spec": spec.canonical_dict(),
+    }
+    blob = json.dumps(identity, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def result_to_payload(result: RunResult) -> Dict[str, Any]:
@@ -78,14 +96,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     def key(self, spec: ExperimentSpec, seed: int) -> str:
         """Stable content hash of one (cell, seed) work unit."""
-        identity = {
-            "version": self.version,
-            "seed": int(seed),
-            "spec": spec.canonical_dict(),
-        }
-        blob = json.dumps(identity, sort_keys=True,
-                          separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return unit_key(spec, seed, version=self.version)
 
     def path(self, spec: ExperimentSpec, seed: int) -> Path:
         return self.root / f"{self.key(spec, seed)}.json"
@@ -96,13 +107,26 @@ class ResultCache:
     def get(self, spec: ExperimentSpec, seed: int) -> Optional[RunResult]:
         """The cached result for the unit, or None on a miss.
 
-        Unreadable or corrupt entries count as misses (and will be
-        overwritten on the next :meth:`put`).
+        Unreadable or corrupt entries count as misses.  A corrupted or
+        truncated file (a crash mid-disk-flush, a bit flip) is also
+        unlinked on sight, so the directory never accumulates poisoned
+        entries: the next :meth:`put` / :meth:`put_many` writes a clean
+        replacement through the same atomic temp-then-rename path.
         """
+        path = self.path(spec, seed)
         try:
-            payload = json.loads(self.path(spec, seed).read_text())
+            payload = json.loads(path.read_text())
             return result_from_payload(payload["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            return None
+        except (ValueError, KeyError, TypeError):
+            # The file exists but does not parse into a result: heal by
+            # removal (best-effort — a racing writer may have already
+            # replaced it with a good entry).
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     def put(self, spec: ExperimentSpec, seed: int,

@@ -1,0 +1,222 @@
+"""Crash-safe run journals: resumable experiment grids.
+
+A :class:`RunJournal` records every completed work unit of a run —
+successes with their full measurement payload, quarantined failures
+with their :class:`~repro.core.runner.UnitFailure` — so an
+interrupted grid (ctrl-C at hour two, a machine reboot, an OOM-killed
+parent) resumes with ``--resume RUN_ID`` instead of starting over.
+Resumed units hydrate from the journal byte-for-byte: a resumed run's
+:class:`~repro.core.runner.AveragedResult` numbers are identical to
+an uninterrupted run's.
+
+Layout (under ``.repro-cache/runs/`` by default)::
+
+    runs/<run_id>/
+        manifest.json          # run identity: id + package version
+        units/<unit_key>.json  # one atomic record per completed unit
+
+Every record is written temp-then-rename — the same crash-safety
+idiom as :meth:`~repro.matrix.cache.ResultCache.put_many` — so a
+SIGKILL at any instant leaves either a complete record or no record,
+never a torn file.  The journal is append-only in spirit: records are
+only ever added (or healed by deletion when corrupt), and the unit
+key (spec canonical JSON + seed + package version, shared with the
+result cache via :func:`~repro.matrix.cache.unit_key`) guarantees a
+stale journal can never contaminate a changed experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Union
+
+from .. import __version__
+from ..core.runner import RunResult, UnitFailure
+from .cache import (DEFAULT_CACHE_DIR, result_from_payload,
+                    result_to_payload, unit_key)
+from .spec import ExperimentSpec
+
+__all__ = ["DEFAULT_RUNS_DIR", "RunJournal"]
+
+#: Journals live next to the result cache, one directory per run.
+DEFAULT_RUNS_DIR = os.path.join(DEFAULT_CACHE_DIR, "runs")
+
+#: Process-unique temp suffixes (same reasoning as the result cache).
+_TMP_COUNTER = itertools.count()
+
+_RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,99}$")
+
+_KEY_RE = re.compile(r"^[0-9a-f]{16,64}$")
+
+
+class RunJournal:
+    """Append-only, atomically written record of one run's units."""
+
+    __slots__ = ("run_id", "root", "version")
+
+    def __init__(self, run_id: str,
+                 root: Union[str, Path] = DEFAULT_RUNS_DIR, *,
+                 version: str = __version__) -> None:
+        if not _RUN_ID_RE.match(run_id):
+            raise ValueError(
+                f"run id {run_id!r} must be filename-safe "
+                f"(letters, digits, '.', '_', '-')")
+        self.run_id = run_id
+        self.root = Path(root)
+        self.version = version
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self.root / self.run_id
+
+    @property
+    def units_dir(self) -> Path:
+        return self.path / "units"
+
+    def _unit_path(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise ValueError(f"unit key {key!r} is not a hex digest")
+        return self.units_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return (self.path / "manifest.json").is_file()
+
+    def begin(self) -> None:
+        """Create the journal directory and manifest (idempotent)."""
+        self.units_dir.mkdir(parents=True, exist_ok=True)
+        manifest = self.path / "manifest.json"
+        if not manifest.is_file():
+            self._write_atomic(manifest, {
+                "run_id": self.run_id,
+                "version": self.version,
+            })
+
+    def clear(self) -> int:
+        """Delete every unit record; returns how many were removed."""
+        removed = 0
+        if self.units_dir.is_dir():
+            for path in self.units_dir.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.units_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.units_dir.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    # Records
+    # ------------------------------------------------------------------
+    def record_result(self, spec: ExperimentSpec, seed: int,
+                      result: RunResult) -> None:
+        """Record a completed unit's measurements (atomic, idempotent)."""
+        self._record(unit_key(spec, seed, version=self.version), {
+            "status": "ok",
+            "label": spec.label,
+            "seed": int(seed),
+            "result": result_to_payload(result),
+        })
+
+    def record_failure(self, spec: ExperimentSpec, seed: int,
+                       failure: UnitFailure) -> None:
+        """Record a quarantined unit so a resume replays the verdict."""
+        self._record(unit_key(spec, seed, version=self.version), {
+            "status": "failed",
+            "label": spec.label,
+            "seed": int(seed),
+            "failure": dataclasses.asdict(failure),
+        })
+
+    def record(self, key: str, payload: Dict[str, Any]) -> None:
+        """Record an arbitrary keyed payload (the chaos verb's cells)."""
+        self._record(key, dict(payload))
+
+    def _record(self, key: str, payload: Dict[str, Any]) -> None:
+        self.begin()
+        self._write_atomic(self._unit_path(key), payload)
+
+    def _write_atomic(self, path: Path, payload: Dict[str, Any]) -> None:
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Every readable unit record, keyed by unit key.
+
+        Corrupt or truncated records (a crash mid-write can not produce
+        one, but disks can) are skipped and unlinked, so the unit they
+        covered simply re-runs.
+        """
+        records: Dict[str, Dict[str, Any]] = {}
+        if not self.units_dir.is_dir():
+            return records
+        for path in sorted(self.units_dir.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                if not isinstance(payload, dict) \
+                        or "status" not in payload:
+                    raise ValueError("not a unit record")
+            except OSError:
+                continue
+            except (ValueError, KeyError, TypeError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            records[path.stem] = payload
+        return records
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """One unit record by key, or None."""
+        try:
+            payload = json.loads(self._unit_path(key).read_text())
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    @staticmethod
+    def hydrate(record: Dict[str, Any]
+                ) -> Union[RunResult, UnitFailure, None]:
+        """A journal record → the result (or failure) it preserves.
+
+        Returns None for records whose shape is unrecognized, which a
+        resuming run treats as "unit not journaled" and re-runs.
+        """
+        try:
+            if record["status"] == "ok":
+                return result_from_payload(record["result"])
+            if record["status"] == "failed":
+                return UnitFailure(**record["failure"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def list_runs(cls, root: Union[str, Path] = DEFAULT_RUNS_DIR
+                  ) -> Iterable[str]:
+        """Run ids with a manifest under ``root``, sorted."""
+        root = Path(root)
+        if not root.is_dir():
+            return []
+        return sorted(p.name for p in root.iterdir()
+                      if (p / "manifest.json").is_file())

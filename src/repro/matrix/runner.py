@@ -27,8 +27,20 @@ Three fixed costs are amortized instead of paid per unit or per call:
 
 Observability: the runner accumulates :class:`MatrixStats` (per-cell
 wall time, cache and artifact hit/miss counters, IPC batch and pickled-
-byte totals) and emits a :class:`CellEvent` to an optional progress
-callback as each unit resolves.
+byte totals, failure/retry/respawn counters) and emits a
+:class:`CellEvent` to an optional progress callback as each unit
+resolves.
+
+Robustness: parallel execution is driven by
+:class:`~repro.matrix.supervisor.Supervisor` — per-unit wall-clock
+deadlines, dead/hung-worker detection, pool respawn and a capped retry
+ladder (parallel retry → serial in-parent retry → quarantine).
+Quarantined units surface as structured
+:class:`~repro.core.runner.UnitFailure` records on the cell's
+:class:`~repro.core.runner.AveragedResult` instead of aborting the
+grid, and an optional :class:`~repro.matrix.journal.RunJournal`
+records every resolved unit so an interrupted grid resumes
+byte-identically.
 """
 
 from __future__ import annotations
@@ -37,16 +49,18 @@ import dataclasses
 import math
 import multiprocessing
 import os
-import pickle
 import time
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
 from ..content import artifacts
-from ..core.runner import (AveragedResult, RunResult, run_experiment,
-                           warm_default_site)
-from .cache import ResultCache
+from ..core.runner import (AveragedResult, RunResult, UnitFailure,
+                           run_experiment, warm_default_site)
+from ..faults.harness import HarnessFaultPlan, resolve_harness_plan
+from .cache import ResultCache, unit_key
+from .journal import RunJournal
 from .spec import ExperimentSpec
+from .supervisor import DEFAULT_RETRY_BUDGET, Supervisor
 
 __all__ = ["CellEvent", "MatrixStats", "MatrixRunner", "run_unit"]
 
@@ -64,16 +78,23 @@ _CHUNKS_PER_WORKER = 4
 
 @dataclasses.dataclass(frozen=True)
 class CellEvent:
-    """One resolved work unit, reported to the progress callback."""
+    """One work-unit progress event, reported to the callback."""
 
     spec: ExperimentSpec
     seed: int
-    #: ``"hit"`` (served from cache) or ``"run"`` (simulated).
+    #: ``"hit"`` (served from cache or journal), ``"run"`` (simulated),
+    #: ``"retried"`` (a failed attempt re-dispatched by the supervisor;
+    #: does not advance ``completed``) or ``"failed"`` (quarantined as
+    #: a :class:`~repro.core.runner.UnitFailure`).
     status: str
     #: Wall-clock seconds spent simulating (0.0 for cache hits).
     wall_time: float
     completed: int
     total: int
+    #: Execution attempt this event reports (1 for first tries, hits
+    #: and journal replays; >1 for supervised retries and the failures
+    #: that exhausted them).
+    attempt: int = 1
 
     @property
     def label(self) -> str:
@@ -99,6 +120,16 @@ class MatrixStats:
     ipc_batches: int = 0
     #: Bytes of pickled unit payload shipped to workers.
     bytes_pickled: int = 0
+    #: Units quarantined as :class:`~repro.core.runner.UnitFailure`.
+    failures: int = 0
+    #: Supervised re-dispatches of failed attempts (every rung of the
+    #: retry ladder counts, including the final serial one).
+    unit_retries: int = 0
+    #: Pool teardown-and-respawn cycles forced by dead or hung workers.
+    pool_respawns: int = 0
+    #: Units replayed from a :class:`~repro.matrix.journal.RunJournal`
+    #: instead of simulated (resumed runs).
+    journal_hits: int = 0
     #: Simulation wall seconds per (cell label, seed).
     unit_wall_times: Dict[Tuple[str, int], float] = dataclasses.field(
         default_factory=dict)
@@ -110,7 +141,10 @@ class MatrixStats:
                 f"{self.wall_time:.1f} s wall; artifacts "
                 f"{self.artifact_hits} hit/{self.artifact_misses} miss; "
                 f"{self.ipc_batches} ipc batches, "
-                f"{self.bytes_pickled} bytes pickled")
+                f"{self.bytes_pickled} bytes pickled; "
+                f"{self.failures} failed, {self.unit_retries} retried, "
+                f"{self.pool_respawns} pool respawns, "
+                f"{self.journal_hits} journal hits")
 
 
 def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[RunResult, float]:
@@ -190,19 +224,43 @@ class MatrixRunner:
     warm:
         Pre-build the default Microscape site in the parent and in each
         worker on spawn.  Disable only in tests that count builds.
+    journal:
+        Optional :class:`~repro.matrix.journal.RunJournal` (or a run-id
+        string).  Resolved units are recorded as they complete, and
+        already-journaled units replay instead of re-running, so an
+        interrupted grid resumes byte-identically.
+    retry_budget:
+        Parallel re-dispatches the supervisor allows per failing unit
+        before downgrading (serial retry for exceptions, quarantine for
+        deadline / lost-worker faults).
+    unit_deadline:
+        Wall-clock seconds one unit may run in a worker before the
+        supervisor declares it hung.  ``None`` derives the budget from
+        each spec's ``max_sim_time``
+        (× :data:`~repro.matrix.supervisor.DEADLINE_GRACE`).
+    harness_faults:
+        Optional :class:`~repro.faults.harness.HarnessFaultPlan` (or
+        plan name) injecting scripted machine faults — for the chaos
+        harness and the robustness tests.
 
     The pool spawned for the first parallel ``run_many()`` is reused by
     every later call; ``close()`` (or a ``with`` block) releases it.
     """
 
     __slots__ = ("jobs", "cache", "progress", "stats", "chunk_size",
-                 "warm", "_pool", "_pool_workers")
+                 "warm", "journal", "retry_budget", "unit_deadline",
+                 "harness_faults", "_pool", "_pool_workers", "_progress")
 
     def __init__(self, jobs: Optional[int] = 1, *,
                  cache: Optional[ResultCache] = None,
                  progress: Optional[ProgressCallback] = None,
                  chunk_size: Optional[int] = None,
-                 warm: bool = True) -> None:
+                 warm: bool = True,
+                 journal: "Optional[RunJournal | str]" = None,
+                 retry_budget: int = DEFAULT_RETRY_BUDGET,
+                 unit_deadline: Optional[float] = None,
+                 harness_faults: "Optional[HarnessFaultPlan | str]" = None
+                 ) -> None:
         if not jobs:
             jobs = os.cpu_count() or 1
         self.jobs = max(1, int(jobs))
@@ -210,9 +268,16 @@ class MatrixRunner:
         self.progress = progress
         self.chunk_size = chunk_size
         self.warm = warm
+        if isinstance(journal, str):
+            journal = RunJournal(journal)
+        self.journal = journal
+        self.retry_budget = max(0, int(retry_budget))
+        self.unit_deadline = unit_deadline
+        self.harness_faults = resolve_harness_plan(harness_faults)
         self.stats = MatrixStats()
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_workers = 0
+        self._progress = (0, 0)
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -235,13 +300,37 @@ class MatrixRunner:
             self._pool_workers = self.jobs
         return self._pool
 
+    def _respawn_pool(self) -> "multiprocessing.pool.Pool":
+        """Tear down a faulted pool and spawn a fresh replacement.
+
+        ``terminate()`` rather than ``close()``: a hung worker would
+        never drain its task, and a dead one may have taken queue state
+        with it.  The replacement becomes the persistent pool, so later
+        ``run_many`` calls inherit the healthy one.
+        """
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        self.stats.pool_respawns += 1
+        return self._ensure_pool()
+
     def close(self) -> None:
         """Release the worker pool (idempotent; a later run respawns)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-            self._pool_workers = 0
+        pool, self._pool = self._pool, None
+        self._pool_workers = 0
+        if pool is None:
+            return
+        workers = getattr(pool, "_pool", None) or []
+        if any(getattr(p, "exitcode", None) is not None
+               for p in workers):
+            # A dead worker can leave a graceful close() joining on a
+            # task that will never finish; terminate reaps what's left.
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
 
     def __enter__(self) -> "MatrixRunner":
         return self
@@ -252,8 +341,13 @@ class MatrixRunner:
     def __del__(self) -> None:
         pool = getattr(self, "_pool", None)
         if pool is not None:
-            # Interpreter-teardown path: terminate without joining.
-            pool.terminate()
+            # Interpreter-teardown path: terminate, then reap — an
+            # unjoined pool leaks its workers past the parent's exit.
+            try:
+                pool.terminate()
+                pool.join()
+            except Exception:
+                pass
 
     # ------------------------------------------------------------------
     # Public API
@@ -273,36 +367,74 @@ class MatrixRunner:
         started = time.perf_counter()
         units: List[Tuple[ExperimentSpec, int]] = [
             (spec, seed) for spec in specs for seed in spec.seeds]
-        slots: List[Optional[RunResult]] = [None] * len(units)
+        slots: List[object] = [None] * len(units)
         total = len(units)
         completed = 0
 
+        journal_records = None
+        if self.journal is not None:
+            self.journal.begin()
+            journal_records = self.journal.load()
+
         pending: List[int] = []
         for index, (spec, seed) in enumerate(units):
+            if journal_records is not None:
+                record = journal_records.get(
+                    unit_key(spec, seed, version=self.journal.version))
+                outcome = (RunJournal.hydrate(record)
+                           if record is not None else None)
+                if outcome is not None:
+                    # Journal replay wins over the cache: it preserves
+                    # quarantine verdicts too, not just measurements.
+                    slots[index] = outcome
+                    completed += 1
+                    self.stats.journal_hits += 1
+                    if isinstance(outcome, UnitFailure):
+                        self.stats.failures += 1
+                        self._emit(spec, seed, "failed", 0.0, completed,
+                                   total, attempt=outcome.attempts)
+                    else:
+                        self._emit(spec, seed, "hit", 0.0, completed,
+                                   total)
+                    continue
             cached = (self.cache.get(spec, seed)
                       if self.cache is not None else None)
             if cached is not None:
                 slots[index] = cached
                 completed += 1
                 self.stats.cache_hits += 1
+                if self.journal is not None:
+                    self.journal.record_result(spec, seed, cached)
                 self._emit(spec, seed, "hit", 0.0, completed, total)
             else:
                 if self.cache is not None:
                     self.stats.cache_misses += 1
                 pending.append(index)
 
+        self._progress = (completed, total)
         for batch in self._execute(units, pending):
             if self.cache is not None:
                 self.cache.put_many(
-                    (units[index][0], units[index][1], result)
-                    for index, result, _ in batch)
-            for index, result, wall in batch:
+                    (units[index][0], units[index][1], outcome)
+                    for index, outcome, _ in batch
+                    if isinstance(outcome, RunResult))
+            for index, outcome, wall in batch:
                 spec, seed = units[index]
-                slots[index] = result
+                slots[index] = outcome
                 completed += 1
-                self.stats.sim_runs += 1
-                self.stats.unit_wall_times[(spec.label, seed)] = wall
-                self._emit(spec, seed, "run", wall, completed, total)
+                if isinstance(outcome, UnitFailure):
+                    self.stats.failures += 1
+                    if self.journal is not None:
+                        self.journal.record_failure(spec, seed, outcome)
+                    self._emit(spec, seed, "failed", wall, completed,
+                               total, attempt=outcome.attempts)
+                else:
+                    self.stats.sim_runs += 1
+                    self.stats.unit_wall_times[(spec.label, seed)] = wall
+                    if self.journal is not None:
+                        self.journal.record_result(spec, seed, outcome)
+                    self._emit(spec, seed, "run", wall, completed, total)
+                self._progress = (completed, total)
 
         self.stats.specs += len(specs)
         self.stats.units += total
@@ -311,47 +443,59 @@ class MatrixRunner:
         averaged: List[AveragedResult] = []
         cursor = 0
         for spec in specs:
-            runs = slots[cursor:cursor + spec.runs]
+            cell = slots[cursor:cursor + spec.runs]
             cursor += spec.runs
-            averaged.append(AveragedResult(list(runs)))
+            runs = [r for r in cell if isinstance(r, RunResult)]
+            failures = [f for f in cell if isinstance(f, UnitFailure)]
+            averaged.append(AveragedResult(runs, failures=failures))
         return averaged
 
     # ------------------------------------------------------------------
     # Execution strategies
     # ------------------------------------------------------------------
     def _execute(self, units, pending
-                 ) -> Iterator[List[Tuple[int, RunResult, float]]]:
-        """Yield batches of (index, result, wall) covering ``pending``.
+                 ) -> Iterator[List[Tuple[int, object, float]]]:
+        """Yield batches of (index, outcome, wall) covering ``pending``.
 
-        Serial execution yields one single-unit batch at a time (cache
-        writes stay incremental); pool execution yields one batch per
-        dispatch chunk as workers complete them.
+        Outcomes are stripped :class:`RunResult` objects or quarantined
+        :class:`UnitFailure` records.  Serial execution yields one
+        single-unit batch at a time (cache writes stay incremental);
+        pool execution delegates to the supervisor, which yields one
+        batch per resolved dispatch chunk.
         """
         if not pending:
             return
         if self.jobs <= 1 or len(pending) <= 1:
             store_stats = artifacts.get_store().stats
             hits, misses = store_stats.hits, store_stats.misses
-            for index in pending:
-                spec, seed = units[index]
-                result, wall = run_unit(spec, seed)
-                yield [(index, result, wall)]
-            self.stats.artifact_hits += store_stats.hits - hits
-            self.stats.artifact_misses += store_stats.misses - misses
+            try:
+                for index in pending:
+                    spec, seed = units[index]
+                    try:
+                        if self.harness_faults is not None:
+                            self.harness_faults.apply(index, seed, 1)
+                        result, wall = run_unit(spec, seed)
+                    except Exception as exc:
+                        # Serial in-parent execution IS the ladder's
+                        # final rung: quarantine immediately.
+                        yield [(index, UnitFailure.from_exception(
+                            spec.label, seed, exc, attempts=1), 0.0)]
+                    else:
+                        yield [(index, result, wall)]
+            finally:
+                # try/finally so a consumer that stops early (or a
+                # raising unit, before failures were quarantined) can
+                # not lose the artifact hit/miss delta.
+                self.stats.artifact_hits += store_stats.hits - hits
+                self.stats.artifact_misses += \
+                    store_stats.misses - misses
             return
         payload = [(index, units[index][0], units[index][1])
                    for index in pending]
-        pool = self._ensure_pool()
-        chunks = list(self._chunked(payload))
-        self.stats.ipc_batches += len(chunks)
-        self.stats.bytes_pickled += sum(
-            len(pickle.dumps(chunk, pickle.HIGHEST_PROTOCOL))
-            for chunk in chunks)
-        for results, (hits, misses) in pool.imap_unordered(
-                _pool_chunk_entry, chunks, chunksize=1):
-            self.stats.artifact_hits += hits
-            self.stats.artifact_misses += misses
-            yield results
+        supervisor = Supervisor(self, retry_budget=self.retry_budget,
+                                unit_deadline=self.unit_deadline,
+                                plan=self.harness_faults)
+        yield from supervisor.execute(payload)
 
     def _chunked(self, payload: List[_Unit]) -> Iterator[List[_Unit]]:
         """Split the pending units into dispatch chunks."""
@@ -363,8 +507,16 @@ class MatrixRunner:
         for start in range(0, len(payload), size):
             yield payload[start:start + size]
 
-    def _emit(self, spec, seed, status, wall, completed, total) -> None:
+    def _emit(self, spec, seed, status, wall, completed, total, *,
+              attempt: int = 1) -> None:
         if self.progress is not None:
             self.progress(CellEvent(spec=spec, seed=seed, status=status,
                                     wall_time=wall, completed=completed,
-                                    total=total))
+                                    total=total, attempt=attempt))
+
+    def _emit_retry(self, spec, seed, attempt: int) -> None:
+        """Report a supervised re-dispatch (called by the supervisor)."""
+        self.stats.unit_retries += 1
+        completed, total = self._progress
+        self._emit(spec, seed, "retried", 0.0, completed, total,
+                   attempt=attempt)

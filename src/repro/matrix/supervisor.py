@@ -1,0 +1,337 @@
+"""Supervised pool execution: deadlines, respawn, retries, quarantine.
+
+The bare ``Pool.imap_unordered`` drain this module replaces had two
+failure modes fatal to long grids: a worker killed mid-chunk (OOM
+killer, segfault) wedges the iterator forever, and a single raising
+unit aborts the whole batch.  :class:`Supervisor` owns the in-flight
+chunks instead:
+
+* every chunk carries a **wall-clock deadline** (per-unit budget —
+  an explicit ``unit_deadline`` or :data:`DEADLINE_GRACE` × the
+  spec's ``max_sim_time`` — summed over the chunk's units);
+* a **liveness watch** on the pool's worker processes notices a dead
+  worker within one poll interval, without waiting for the deadline;
+* on either signal the pool is **terminated and respawned** and every
+  lost chunk is re-dispatched under a capped retry budget;
+* failures walk the same **downgrade ladder** as the PR-4 robot:
+  parallel retry → serial in-parent retry → quarantine.  Only
+  exception failures reach the serial rung — a unit that hangs or
+  kills its worker would do the same to the parent — deadline and
+  lost-worker failures quarantine once the parallel budget is spent;
+* a quarantined unit becomes a structured
+  :class:`~repro.core.runner.UnitFailure` yielded in-band, so sibling
+  units (and sibling cells) complete normally.
+
+Determinism is preserved: a unit's computation does not depend on
+where or how often it ran, so a grid that survives a worker kill
+produces numbers byte-identical to an undisturbed serial run.
+
+Harness fault plans (:mod:`repro.faults.harness`) ship inside each
+chunk payload — no worker-global state — so the chaos tests can
+SIGKILL, hang, or poison scripted units deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import time
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..content import artifacts
+from ..core.runner import RunResult, UnitFailure
+from ..faults.harness import HarnessFaultPlan
+from .spec import ExperimentSpec
+
+__all__ = ["DEFAULT_RETRY_BUDGET", "DEADLINE_GRACE", "Supervisor"]
+
+#: Parallel re-dispatches allowed per unit after its first failure
+#: (the serial in-parent rung comes after these, for exception
+#: failures only).
+DEFAULT_RETRY_BUDGET = 2
+
+#: Without an explicit ``unit_deadline``, a unit's wall-clock budget is
+#: this fraction of its spec's ``max_sim_time``.  Simulated seconds run
+#: orders of magnitude faster than wall seconds, so the default (300 s
+#: of wall time for the default 1200 s simulation horizon) is a hang
+#: backstop, not a performance target.
+DEADLINE_GRACE = 0.25
+
+#: Supervisor poll cadence while chunks are in flight.
+_POLL_INTERVAL = 0.05
+
+#: A unit in a supervised dispatch: (slot index, spec, seed, attempt).
+_SupUnit = Tuple[int, ExperimentSpec, int, int]
+
+#: What execute() yields per resolved unit: the outcome is either a
+#: stripped RunResult or a UnitFailure.
+_Outcome = Tuple[int, object, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class _WorkerFailure:
+    """Picklable per-unit failure shipped from a worker to the parent."""
+
+    kind: str
+    error: str
+    traceback_digest: str
+
+
+def _worker_failure(exc: BaseException) -> _WorkerFailure:
+    import hashlib
+    import traceback
+    text = "".join(traceback.format_exception(
+        type(exc), exc, exc.__traceback__))
+    return _WorkerFailure(
+        kind="exception",
+        error=f"{type(exc).__name__}: {exc}",
+        traceback_digest=hashlib.sha256(
+            text.encode("utf-8")).hexdigest()[:12])
+
+
+def _run_chunk_supervised(
+        payload: Tuple[Sequence[_SupUnit], Optional[HarnessFaultPlan]]
+) -> Tuple[List[_Outcome], Tuple[int, int]]:
+    """Worker entry: run a chunk, capturing failures per unit.
+
+    One IPC round-trip per chunk, like the unsupervised entry it
+    replaces, plus the artifact-store (hits, misses) delta.  A raising
+    unit becomes a :class:`_WorkerFailure` in the results instead of
+    propagating (which would abort the pool drain for every unit in
+    the batch); the parent's retry ladder decides what happens next.
+    """
+    units, plan = payload
+    from .runner import run_unit    # runner imports this module
+    stats = artifacts.get_store().stats
+    hits, misses = stats.hits, stats.misses
+    results: List[_Outcome] = []
+    for index, spec, seed, attempt in units:
+        start = time.perf_counter()
+        try:
+            if plan is not None:
+                plan.apply(index, seed, attempt)
+            result, wall = run_unit(spec, seed)
+        except Exception as exc:
+            results.append((index, _worker_failure(exc),
+                            time.perf_counter() - start))
+        else:
+            results.append((index, result, wall))
+    return results, (stats.hits - hits, stats.misses - misses)
+
+
+class _Chunk:
+    """One dispatched chunk: its units, async handle, and deadline."""
+
+    __slots__ = ("units", "handle", "deadline")
+
+    def __init__(self, units: List[_SupUnit], handle,
+                 deadline: float) -> None:
+        self.units = units
+        self.handle = handle
+        self.deadline = deadline
+
+
+class Supervisor:
+    """Drives one supervised parallel batch for a MatrixRunner.
+
+    Created per ``run_many`` parallel dispatch; uses the runner's
+    persistent pool (respawning it through the runner so later calls
+    reuse the healthy replacement) and reports retries, respawns and
+    IPC totals into the runner's :class:`MatrixStats`.
+    """
+
+    __slots__ = ("runner", "retry_budget", "unit_deadline", "plan",
+                 "_inflight", "_procs")
+
+    def __init__(self, runner, *, retry_budget: int = DEFAULT_RETRY_BUDGET,
+                 unit_deadline: Optional[float] = None,
+                 plan: Optional[HarnessFaultPlan] = None) -> None:
+        self.runner = runner
+        self.retry_budget = max(0, int(retry_budget))
+        self.unit_deadline = unit_deadline
+        self.plan = plan
+        self._inflight: List[_Chunk] = []
+        self._procs: List[object] = []
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def execute(self, payload: Sequence[Tuple[int, ExperimentSpec, int]]
+                ) -> Iterator[List[_Outcome]]:
+        """Yield batches of (index, outcome, wall) covering ``payload``.
+
+        Outcomes are stripped :class:`RunResult` objects for units that
+        completed and :class:`UnitFailure` records for units the retry
+        ladder quarantined.  Every index in ``payload`` is yielded
+        exactly once.
+        """
+        units: List[_SupUnit] = [(index, spec, seed, 1)
+                                 for index, spec, seed in payload]
+        pool = self.runner._ensure_pool()
+        self._watch(pool)
+        for chunk_units in self.runner._chunked(units):
+            self._dispatch(pool, list(chunk_units))
+        while self._inflight:
+            ready = [c for c in self._inflight if c.handle.ready()]
+            if ready:
+                for chunk in ready:
+                    self._inflight.remove(chunk)
+                    batch = self._collect(chunk)
+                    if batch:
+                        yield batch
+                continue
+            batch = self._supervise()
+            if batch:
+                yield batch
+
+    # ------------------------------------------------------------------
+    # Dispatch and collection
+    # ------------------------------------------------------------------
+    def _dispatch(self, pool, units: List[_SupUnit]) -> None:
+        payload = (tuple(units), self.plan)
+        stats = self.runner.stats
+        stats.ipc_batches += 1
+        stats.bytes_pickled += len(
+            pickle.dumps(payload, pickle.HIGHEST_PROTOCOL))
+        deadline = time.monotonic() + sum(
+            self._deadline_for(spec) for _, spec, _, _ in units)
+        self._inflight.append(_Chunk(
+            units, pool.apply_async(_run_chunk_supervised, (payload,)),
+            deadline))
+
+    def _deadline_for(self, spec: ExperimentSpec) -> float:
+        if self.unit_deadline is not None:
+            return float(self.unit_deadline)
+        return DEADLINE_GRACE * spec.max_sim_time
+
+    def _watch(self, pool) -> None:
+        """Snapshot the pool's worker processes for liveness checks.
+
+        The snapshot keeps references to the worker Process objects, so
+        a worker that dies stays visible (exitcode set) even after the
+        pool's maintenance thread replaces it in its own bookkeeping.
+        """
+        self._procs = list(getattr(pool, "_pool", None) or [])
+
+    def _collect(self, chunk: _Chunk) -> List[_Outcome]:
+        try:
+            results, (hits, misses) = chunk.handle.get()
+        except Exception as exc:
+            # The chunk computed but its reply could not be retrieved
+            # (e.g. an unpicklable result): same treatment as a lost
+            # worker, minus the pool respawn (the pool is healthy).
+            return self._retry_or_quarantine(
+                chunk.units, "worker-lost",
+                f"chunk result unavailable: {exc}",
+                self.runner._ensure_pool())
+        stats = self.runner.stats
+        stats.artifact_hits += hits
+        stats.artifact_misses += misses
+        info = {index: (spec, seed, attempt)
+                for index, spec, seed, attempt in chunk.units}
+        batch: List[_Outcome] = []
+        for index, outcome, wall in results:
+            spec, seed, attempt = info[index]
+            if isinstance(outcome, _WorkerFailure):
+                resolved = self._unit_failed(index, spec, seed, attempt,
+                                             outcome)
+                if resolved is not None:
+                    batch.append(resolved)
+            else:
+                batch.append((index, outcome, wall))
+        return batch
+
+    # ------------------------------------------------------------------
+    # Failure handling: the downgrade ladder
+    # ------------------------------------------------------------------
+    def _unit_failed(self, index: int, spec: ExperimentSpec, seed: int,
+                     attempt: int, failure: _WorkerFailure
+                     ) -> Optional[_Outcome]:
+        """One unit raised in a worker: retry, downgrade, or quarantine.
+
+        Returns the resolved outcome, or None when the unit was
+        re-dispatched and will resolve in a later batch.
+        """
+        if attempt <= self.retry_budget:
+            self.runner._emit_retry(spec, seed, attempt + 1)
+            self._dispatch(self.runner._ensure_pool(),
+                           [(index, spec, seed, attempt + 1)])
+            return None
+        # Parallel budget exhausted: the serial in-parent rung.
+        self.runner._emit_retry(spec, seed, attempt + 1)
+        return self._run_serial(index, spec, seed, attempt + 1)
+
+    def _run_serial(self, index: int, spec: ExperimentSpec, seed: int,
+                    attempt: int) -> _Outcome:
+        """Final rung of the ladder; a failure here quarantines."""
+        from .runner import run_unit
+        stats = self.runner.stats
+        store_stats = artifacts.get_store().stats
+        hits, misses = store_stats.hits, store_stats.misses
+        try:
+            try:
+                if self.plan is not None:
+                    self.plan.apply(index, seed, attempt)
+                result, wall = run_unit(spec, seed)
+            except Exception as exc:
+                return (index, UnitFailure.from_exception(
+                    spec.label, seed, exc, attempts=attempt), 0.0)
+            return (index, result, wall)
+        finally:
+            stats.artifact_hits += store_stats.hits - hits
+            stats.artifact_misses += store_stats.misses - misses
+
+    def _supervise(self) -> List[_Outcome]:
+        """One idle tick: check liveness and deadlines, maybe recover.
+
+        Returns quarantined outcomes produced by the recovery (usually
+        empty — recovered units re-dispatch and resolve later).
+        """
+        lost = any(getattr(p, "exitcode", None) is not None
+                   for p in self._procs)
+        now = time.monotonic()
+        expired = [c for c in self._inflight if now > c.deadline]
+        if not lost and not expired:
+            time.sleep(_POLL_INTERVAL)
+            return []
+        # The pool's state is unknown (a dead worker may have taken
+        # queue locks with it; a hung worker never yields its slot):
+        # tear it down and re-dispatch everything still in flight.
+        kind = "worker-lost" if lost else "deadline"
+        error = ("worker process died mid-chunk" if lost
+                 else "unit wall-clock deadline expired")
+        guilty = set(map(id, self._inflight if lost else expired))
+        inflight, self._inflight = self._inflight, []
+        pool = self.runner._respawn_pool()
+        self._watch(pool)
+        batch: List[_Outcome] = []
+        for chunk in inflight:
+            if id(chunk) in guilty:
+                batch.extend(self._retry_or_quarantine(
+                    chunk.units, kind, error, pool))
+            else:
+                # Innocent bystander chunks lost to the respawn are
+                # re-dispatched as-is: no attempt is charged to them.
+                self._dispatch(pool, chunk.units)
+        return batch
+
+    def _retry_or_quarantine(self, units: Sequence[_SupUnit], kind: str,
+                             error: str, pool) -> List[_Outcome]:
+        """Machine-fault path: parallel retries only, then quarantine.
+
+        A unit whose worker hangs or dies must never run in the parent
+        (the same fault would wedge or kill the whole run), so unlike
+        exception failures there is no serial rung.  Retried units are
+        re-dispatched as singleton chunks: isolation keeps a repeat
+        offender from taking fresh neighbours down with it.
+        """
+        batch: List[_Outcome] = []
+        for index, spec, seed, attempt in units:
+            if attempt <= self.retry_budget:
+                self.runner._emit_retry(spec, seed, attempt + 1)
+                self._dispatch(pool, [(index, spec, seed, attempt + 1)])
+            else:
+                batch.append((index, UnitFailure(
+                    label=spec.label, seed=seed, kind=kind, error=error,
+                    traceback_digest="", attempts=attempt), 0.0))
+        return batch

@@ -115,6 +115,37 @@ def test_corrupt_entry_is_a_miss(cache):
     assert cache.get(spec, 0) is None
 
 
+def test_corrupt_entry_is_unlinked_on_read(cache):
+    """A poisoned entry is healed by removal the first time it's seen,
+    so it can never be mistaken for a hit twice or linger forever."""
+    spec = ExperimentSpec()
+    cache.put(spec, 0, synthetic_result())
+    cache.path(spec, 0).write_text("{not json")
+    assert cache.get(spec, 0) is None
+    assert not cache.path(spec, 0).exists()
+
+
+def test_truncated_entry_is_a_miss_and_heals_on_next_put(cache):
+    """A crash mid-disk-flush (torn JSON) or a missing payload key must
+    read as a miss, and the next put_many writes a clean replacement —
+    the runner never crashes and never serves the torn entry."""
+    spec = ExperimentSpec()
+    original = synthetic_result()
+    cache.put(spec, 0, original)
+    good = cache.path(spec, 0).read_text()
+    for damage in (good[:len(good) // 2],        # torn mid-write
+                   '{"version": "x"}',           # missing result key
+                   '{"result": {"packets": 1}}',  # missing columns
+                   "[]"):                        # wrong JSON shape
+        cache.path(spec, 0).write_text(damage)
+        assert cache.get(spec, 0) is None
+        assert cache.put_many([(spec, 0, original)]) == 1
+        healed = cache.get(spec, 0)
+        assert healed is not None
+        assert healed.packets == original.packets
+        assert healed.elapsed == original.elapsed
+
+
 def test_clear_and_len(cache):
     for seed in range(3):
         cache.put(ExperimentSpec(), seed, synthetic_result())

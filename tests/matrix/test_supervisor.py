@@ -1,0 +1,222 @@
+"""Supervised execution: kills, hangs, poison cells, retry ladder."""
+
+import pytest
+
+from repro.core.runner import UnitFailure
+from repro.faults import HarnessFaultPlan, HarnessPoisonError
+from repro.matrix import ExperimentSpec, MatrixRunner
+from repro.matrix.supervisor import DEADLINE_GRACE, Supervisor
+
+from .test_matrix_runner import FAST, assert_results_identical
+
+#: Two cheap LAN cells x three seeds = a six-unit grid that still
+#: exercises chunking, retries and sibling survival.
+GRID = [
+    dict(seeds=(0, 1, 2), **FAST),
+    dict(seeds=(0, 1, 2), mode="HTTP/1.1", scenario="revalidate",
+         environment="LAN", server="Jigsaw"),
+]
+
+#: Generous per-unit wall budget: a LAN revalidate unit takes ~10 ms,
+#: so 30 s can not fire spuriously even on a loaded CI machine.
+SAFE_DEADLINE = 30.0
+
+
+def specs():
+    return [ExperimentSpec(**axes) for axes in GRID]
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    return MatrixRunner(jobs=1).run_many(specs())
+
+
+# ----------------------------------------------------------------------
+# UnitFailure plumbing
+# ----------------------------------------------------------------------
+def test_unit_failure_from_exception_digest_and_summary():
+    try:
+        raise HarnessPoisonError("boom")
+    except HarnessPoisonError as exc:
+        failure = UnitFailure.from_exception("cell", 7, exc, attempts=3)
+    assert failure.kind == "exception"
+    assert failure.seed == 7
+    assert failure.attempts == 3
+    assert "HarnessPoisonError: boom" in failure.error
+    assert len(failure.traceback_digest) == 12
+    assert "cell" in failure.summary()
+    assert "3 attempt" in failure.summary()
+
+
+def test_averaged_result_carries_failures_and_nan_means():
+    import math
+    from repro.core.runner import AveragedResult
+    failure = UnitFailure(label="x", seed=0, kind="deadline",
+                          error="timed out", traceback_digest="",
+                          attempts=2)
+    empty = AveragedResult([], failures=[failure])
+    assert not empty.ok
+    assert math.isnan(empty.packets)
+    assert math.isnan(empty.elapsed)
+    full = MatrixRunner(jobs=1).run(ExperimentSpec(seeds=(0,), **FAST))
+    assert full.ok and not full.failures
+
+
+# ----------------------------------------------------------------------
+# Poison cells: the exception rung of the ladder
+# ----------------------------------------------------------------------
+def test_poison_cell_quarantined_serially():
+    plan = HarnessFaultPlan(name="t", poison_units=(1,), poison_seed=1)
+    runner = MatrixRunner(jobs=1, harness_faults=plan)
+    results = runner.run_many(specs())
+    # Unit ordinal 1 is (first spec, seed 1): quarantined, not raised.
+    assert len(results[0].failures) == 1
+    failure = results[0].failures[0]
+    assert failure.kind == "exception"
+    assert failure.seed == 1
+    assert failure.attempts == 1          # serial is the final rung
+    assert "HarnessPoisonError" in failure.error
+    # Siblings (seeds 0 and 2) and the second cell still completed.
+    assert len(results[0].runs) == 2
+    assert results[1].ok
+    assert runner.stats.failures == 1
+    assert runner.stats.sim_runs == 5
+
+
+def test_poison_cell_walks_the_full_ladder_in_parallel(serial_baseline):
+    plan = HarnessFaultPlan(name="t", poison_units=(1,), poison_seed=1)
+    events = []
+    with MatrixRunner(jobs=2, chunk_size=1, harness_faults=plan,
+                      retry_budget=1, progress=events.append,
+                      unit_deadline=SAFE_DEADLINE) as runner:
+        results = runner.run_many(specs())
+        stats = runner.stats
+    failure = results[0].failures[0]
+    # initial + 1 parallel retry + 1 serial retry, all poisoned.
+    assert failure.attempts == 3
+    assert failure.kind == "exception"
+    assert stats.unit_retries == 2
+    assert stats.failures == 1
+    statuses = [e.status for e in events]
+    assert statuses.count("retried") == 2
+    assert statuses.count("failed") == 1
+    failed = [e for e in events if e.status == "failed"][0]
+    assert failed.attempt == 3
+    # Every healthy unit matches the serial baseline bit for bit.
+    assert len(results[0].runs) == 2
+    assert_results_identical(results[1], serial_baseline[1])
+
+
+def test_transient_exception_recovers_within_budget(serial_baseline):
+    # Poison fires on every attempt only for kill/hang-free plans; a
+    # poison restricted to attempt 1 does not exist, so emulate the
+    # transient case with the kill fault instead (first attempt only)
+    # exercised through the exception path: hang/kill cover machine
+    # faults elsewhere — here verify a *clean* supervised run is
+    # byte-identical and charges no retries.
+    with MatrixRunner(jobs=2, unit_deadline=SAFE_DEADLINE) as runner:
+        results = runner.run_many(specs())
+        stats = runner.stats
+    assert stats.failures == 0
+    assert stats.unit_retries == 0
+    assert stats.pool_respawns == 0
+    for got, want in zip(results, serial_baseline):
+        assert_results_identical(got, want)
+
+
+# ----------------------------------------------------------------------
+# Machine faults: dead and hung workers
+# ----------------------------------------------------------------------
+def test_sigkilled_worker_recovers_byte_identical(serial_baseline):
+    plan = HarnessFaultPlan(name="t", kill_unit=2)
+    with MatrixRunner(jobs=2, chunk_size=2, harness_faults=plan,
+                      unit_deadline=SAFE_DEADLINE) as runner:
+        results = runner.run_many(specs())
+        stats = runner.stats
+    assert stats.pool_respawns >= 1
+    assert stats.unit_retries >= 1
+    assert stats.failures == 0
+    assert stats.sim_runs == 6
+    for got, want in zip(results, serial_baseline):
+        assert_results_identical(got, want)
+
+
+def test_hung_worker_hits_deadline_and_recovers(serial_baseline):
+    plan = HarnessFaultPlan(name="t", hang_unit=1, hang_seconds=120.0)
+    with MatrixRunner(jobs=2, chunk_size=1, harness_faults=plan,
+                      unit_deadline=3.0) as runner:
+        results = runner.run_many(specs())
+        stats = runner.stats
+    assert stats.pool_respawns >= 1
+    assert stats.failures == 0
+    for got, want in zip(results, serial_baseline):
+        assert_results_identical(got, want)
+
+
+def test_deadline_defaults_derive_from_max_sim_time():
+    runner = MatrixRunner(jobs=2)
+    supervisor = Supervisor(runner)
+    spec = ExperimentSpec(max_sim_time=100.0, **FAST)
+    assert supervisor._deadline_for(spec) == DEADLINE_GRACE * 100.0
+    explicit = Supervisor(runner, unit_deadline=7.5)
+    assert explicit._deadline_for(spec) == 7.5
+    runner.close()
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle hygiene (satellite: close/terminate on dead workers)
+# ----------------------------------------------------------------------
+def test_close_handles_already_dead_workers():
+    plan = HarnessFaultPlan(name="t", kill_unit=0)
+    runner = MatrixRunner(jobs=2, chunk_size=6, retry_budget=0,
+                          harness_faults=plan,
+                          unit_deadline=SAFE_DEADLINE)
+    results = runner.run_many(specs())
+    # retry_budget=0: the killed chunk's units quarantine immediately.
+    total_failures = sum(len(r.failures) for r in results)
+    assert total_failures == 6
+    assert all(f.kind == "worker-lost"
+               for r in results for f in r.failures)
+    runner.close()          # must not hang despite the SIGKILL
+    assert runner._pool is None
+    runner.close()          # idempotent
+
+
+def test_poison_without_seed_restriction_hits_one_ordinal():
+    # poison_seed=None poisons the listed ordinals for any seed; the
+    # ordinal is the unit's slot index, so seeds (0,1,2) of one spec
+    # occupy ordinals (0,1,2) and exactly one unit is poisoned.
+    plan = HarnessFaultPlan(name="t", poison_units=(1,))
+    runner = MatrixRunner(jobs=1, harness_faults=plan)
+    spec = ExperimentSpec(seeds=(0, 1, 2), **FAST)
+    results = runner.run_many([spec])
+    assert len(results[0].failures) == 1
+    assert results[0].failures[0].seed == 1
+    assert len(results[0].runs) == 2
+
+
+def test_serial_artifact_delta_survives_early_generator_exit(
+        monkeypatch):
+    # Satellite regression: the serial path used to add the artifact
+    # hit/miss delta only after the loop finished, so a consumer that
+    # stopped early (or a raising unit) lost it.  The delta now flushes
+    # in a finally block.
+    from repro.content import artifacts
+    from repro.matrix import runner as runner_mod
+    from .test_cache import synthetic_result
+
+    def fake_run_unit(spec, seed):
+        stats = artifacts.get_store().stats
+        stats.misses += 3
+        stats.hits += 2
+        return synthetic_result(), 0.01
+
+    monkeypatch.setattr(runner_mod, "run_unit", fake_run_unit)
+    runner = MatrixRunner(jobs=1)
+    spec = ExperimentSpec(seeds=(0, 1, 2), **FAST)
+    units = [(spec, seed) for seed in (0, 1, 2)]
+    gen = runner._execute(units, [0, 1, 2])
+    next(gen)            # resolve one unit...
+    gen.close()          # ...then abandon the generator
+    assert runner.stats.artifact_misses == 3
+    assert runner.stats.artifact_hits == 2
