@@ -208,4 +208,67 @@ sys.exit(1 if problems else 0)
 EOF
 rm -f "$BENCH_SMOKE"
 
+# Fleet smoke: a 200-user population on two jobs must finish inside
+# the wall-time budget (default 180 s) and report percentiles
+# byte-identical to the same population run serially — the determinism
+# contract the fleet engine commits to at any job count.
+python - <<'EOF'
+import os
+import time
+
+from repro.fleet import FleetSpec, run_fleet
+from repro.matrix import MatrixRunner
+
+budget = float(os.environ.get("FLEET_SMOKE_BUDGET", "180"))
+spec = FleetSpec(users=200, cohorts=4, environment="WAN",
+                 arrival_rate=4.0, think_time=2.0, pages_per_user=1,
+                 rounds=2, max_sim_time=240.0, backbone_bps=20e6)
+start = time.monotonic()
+with MatrixRunner(jobs=2) as runner:
+    parallel = run_fleet(spec, runner=runner)
+elapsed = time.monotonic() - start
+with MatrixRunner(jobs=1) as runner:
+    serial = run_fleet(spec, runner=runner)
+
+if elapsed > budget:
+    raise SystemExit(f"check.sh: fleet smoke took {elapsed:.1f}s, "
+                     f"over the {budget:.0f}s budget")
+if parallel.cohorts != serial.cohorts:
+    raise SystemExit("check.sh: fleet cohort results differ between "
+                     "--jobs 2 and --jobs 1")
+for p in (50, 95, 99):
+    if parallel.percentile(p) != serial.percentile(p):
+        raise SystemExit(f"check.sh: fleet p{p} differs between "
+                         f"--jobs 2 and --jobs 1")
+if not parallel.page_times:
+    raise SystemExit("check.sh: fleet smoke completed zero pages")
+print(f"fleet smoke: {spec.users} users in {elapsed:.1f}s, "
+      f"p50={parallel.percentile(50):.2f}s "
+      f"p99={parallel.percentile(99):.2f}s, serial-identical")
+EOF
+
+# The committed benchmark file must carry a valid fleet section (the
+# population-scale throughput record `python -m repro bench --fleet`
+# maintains) meeting the >=1000 users/minute commitment.
+python - <<'EOF'
+import json
+import sys
+
+from repro.perf import validate_bench_payload
+
+with open("BENCH_simnet.json") as fh:
+    payload = json.load(fh)
+problems = validate_bench_payload(payload)
+fleet = payload.get("fleet")
+if fleet is None:
+    problems.append("committed BENCH_simnet.json has no fleet section "
+                    "(run: python -m repro bench --fleet)")
+elif fleet.get("users_per_minute", 0) < 1000:
+    problems.append(f"committed fleet bench below 1000 users/minute "
+                    f"({fleet.get('users_per_minute')})")
+for problem in problems:
+    print(f"check.sh: fleet bench problem: {problem}", file=sys.stderr)
+sys.exit(1 if problems else 0)
+EOF
+
 echo "check.sh: all green"

@@ -162,6 +162,50 @@ hatch everywhere a run is configured: `python -m repro run
 --no-fastpath`, `run_experiment(..., fastpath=False)`,
 `TcpConfig(fastpath=False)`.
 
+## Population-scale experiments
+
+The paper's tables measure one robot against one server.  The fleet
+engine (`repro.fleet`) scales the same simulator to whole populations:
+
+    python -m repro fleet --users 1000 --cohorts 16 --environment WAN \
+        --arrival-rate 10 --pages-per-user 1 --backbone-bps 45e6 \
+        --max-sim-time 300 --jobs 4 --cache --progress
+
+A `FleetSpec` compiles into per-user plans — Poisson arrivals, a
+weighted protocol-mode mix (plain-HTTP modes only: a cohort shares
+one port-80 listener), exponential think-times between pages — all
+drawn from one seeded RNG stream in strict user-index order, so the
+schedule is a pure function of the spec.  The population shards into
+cohorts; one simulator hosts each cohort end to end (N client stacks,
+one finite-capacity server, a shared bottleneck link), and cohorts
+interact only through an analytic bottleneck model: each fixed-point
+round the parent water-fills the backbone capacity over the cohorts'
+measured per-epoch downlink demands (max-min fair; ≥90 % use of a
+grant reads as saturation, bounded demands get 25 % headroom over a
+5 %-of-equal-split floor) and re-simulates every cohort under its new
+shares.  Shares are integer-quantized bits/second *before* unit
+construction, and the quantized share vector + cohort index + every
+`FleetSpec` field (`FLEET_CACHE_KEY_FIELDS`, held complete by the
+deep linter's cache-key pass) form the unit's cache identity — so a
+10k-user run is just a grid of cacheable, journaled matrix units, and
+`--resume` of a killed run hydrates byte-identically, as do `--jobs 1`
+vs `--jobs N`.
+
+Two semantics deliberately differ from the single-robot runner:
+`max_sim_time` is a *hard* deadline (an overloaded population would
+otherwise run for unbounded simulated time), with pages still in
+flight at the cutoff counted as session errors; and a failed page
+ends its session, the way real users give up.
+
+The fleet report leads with what single-robot tables cannot show:
+nearest-rank p50/p95/p99 page-load time overall and per protocol
+mode, Jain's fairness index over per-session means, and the server's
+accept-backlog queueing record.  Committed throughput (under `fleet`
+in `BENCH_simnet.json`, gated at ≥1000 users/minute by
+`scripts/check.sh`): 1000 WAN users in 16 cohorts simulate in ~13 s
+of wall time — ~4700 users/minute — at p50 1.33 s / p95 6.23 s /
+p99 6.60 s with zero errors.
+
 ## Known deviations
 
 * **HTTP/1.0 first-retrieval byte counts** run ~12 % below the paper's

@@ -20,6 +20,11 @@ Commands
     Time one representative cell per (mode, environment) pair and write
     ``BENCH_simnet.json`` (see DESIGN.md, "Engine internals and
     performance").
+``fleet``
+    Population-scale runs: cohorts of robot sessions contending for a
+    shared bottleneck and a finite-capacity server, with nearest-rank
+    tail percentiles, Jain fairness and server-queueing stats
+    (byte-identical across ``--jobs`` counts and ``--resume``).
 ``chaos``
     Sweep the deterministic fault-injection grid (fault plans × modes ×
     environments) and assert every run still retrieves the full site
@@ -34,7 +39,8 @@ worker processes), ``--cache`` (reuse results from ``.repro-cache/``)
 and ``--cache-dir PATH``; these plus ``run`` and ``bench`` accept
 ``--no-artifact-cache`` (disable the content-addressed encode memo
 under ``.repro-cache/artifacts/``).  ``bench --matrix`` times a
-24-cell grid cold vs. warm through the persistent worker pool.
+24-cell grid cold vs. warm through the persistent worker pool;
+``bench --fleet`` times the 1000-user population workload.
 
 Supervised execution (``table`` / ``modem`` / ``report``):
 ``--retry-budget N`` caps per-unit re-dispatches after a failure,
@@ -232,7 +238,22 @@ def _cmd_site(_args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf import (run_benchmark, run_fastpath_benchmark,
-                       run_matrix_benchmark, validate_bench_payload)
+                       run_fleet_benchmark, run_matrix_benchmark,
+                       validate_bench_payload)
+    if args.fleet:
+        payload = run_fleet_benchmark(args.output, jobs=args.jobs)
+        problems = validate_bench_payload(payload)
+        if problems:
+            for problem in problems:
+                print(f"bench schema problem: {problem}", file=sys.stderr)
+            return 1
+        fleet = payload["fleet"]
+        print(f"wrote {args.output}: fleet {fleet['users']} users in "
+              f"{fleet['wall_time']:.1f} s "
+              f"({fleet['users_per_minute']:.0f} users/min, "
+              f"p99 {fleet['p99']:.2f} s, "
+              f"{fleet['pages_completed']} pages)")
+        return 0
     if args.fastpath:
         payload = run_fastpath_benchmark(
             args.output, repeats=args.repeats or 3)
@@ -355,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes for --matrix "
                             "(default: one per CPU)")
+    bench.add_argument("--fleet", action="store_true",
+                       help="time the population-scale fleet workload "
+                            "(1000 WAN users) and record it under the "
+                            "file's 'fleet' key")
     bench.add_argument("--fastpath", action="store_true",
                        help="time bulk transfers with the fast-forward "
                             "driver on vs. off (verifies byte-identical "
@@ -368,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--runs", type=int, default=5)
     _add_matrix_flags(report)
     report.set_defaults(fn=_cmd_report)
+
+    from .fleet.cli import add_fleet_parser
+    add_fleet_parser(sub)
 
     from .faults.chaos import add_chaos_parser
     add_chaos_parser(sub)

@@ -34,6 +34,7 @@ __all__ = [
     "reproduce_browser_table", "reproduce_modem_experiment",
     "reproduce_content_experiments", "reproduce_robustness",
     "reproduce_modern_modes",
+    "format_fleet_report",
     "generate_experiments_report",
     "PROFILE_BY_NAME", "TABLE_NUMBERS",
 ]
@@ -434,6 +435,69 @@ def reproduce_modern_modes(*, runs: int = 3,
         f"Modern protocol modes - Apache, first-time fetch "
         f"(mean of {runs} runs)", header, rows)
     return results, text + "\n" + "\n".join(headlines)
+
+
+def format_fleet_report(result) -> str:
+    """Render a fleet run's tail-latency / fairness / queueing section.
+
+    ``result`` is a :class:`~repro.fleet.runner.FleetResult`.  The
+    section leads with nearest-rank page-load percentiles (overall and
+    per protocol mode), then the Jain fairness index over per-session
+    means, then the server's accept-backlog queueing record — the three
+    population-scale views a single-robot table cannot show.
+    """
+    from ..core.runner import nearest_rank
+    spec = result.spec
+    lines: List[str] = []
+    lines.append(f"Fleet population: {spec.users} users in "
+                 f"{spec.cohorts} cohorts on {spec.environment}, "
+                 f"scenario {spec.scenario}, seed {spec.seed}")
+    capacity = ("unbounded" if spec.server_capacity is None
+                else str(spec.server_capacity))
+    lines.append(f"  Poisson arrivals {spec.arrival_rate:g}/s, "
+                 f"{spec.pages_per_user} pages/user, mean think "
+                 f"{spec.think_time:g} s, server capacity {capacity} "
+                 f"concurrent, {spec.rounds} fixed-point round(s)")
+    lines.append("")
+    lines.append("Page-load time (s), nearest-rank percentiles:")
+    lines.append(f"  {'mode':34s} {'pages':>6s} {'p50':>8s} "
+                 f"{'p95':>8s} {'p99':>8s} {'mean':>8s}")
+
+    def _row(label: str, times: List[float]) -> str:
+        mean = sum(times) / len(times) if times else float("nan")
+        return (f"  {label:34s} {len(times):6d} "
+                f"{nearest_rank(times, 50):8.3f} "
+                f"{nearest_rank(times, 95):8.3f} "
+                f"{nearest_rank(times, 99):8.3f} {mean:8.3f}")
+
+    lines.append(_row("ALL", result.page_times))
+    for mode_name, times in result.per_mode_page_times().items():
+        lines.append(_row(mode_name, times))
+    lines.append("")
+    lines.append(f"Fairness (Jain's index over per-session mean PLT): "
+                 f"{result.fairness_index:.4f}")
+    errors = result.errors
+    lines.append(f"Sessions simulated: {result.users_simulated} "
+                 f"({errors} page error(s))")
+    waits = result.queue_waits
+    accepted = sum(cohort.connections_accepted
+                   for cohort in result.cohorts if cohort is not None)
+    if waits:
+        lines.append(
+            f"Server queueing: {len(waits)}/{accepted} connections "
+            f"parked; wait mean {sum(waits) / len(waits):.3f} s, "
+            f"p95 {nearest_rank(waits, 95):.3f} s, "
+            f"max {max(waits):.3f} s")
+    else:
+        lines.append(f"Server queueing: 0/{accepted} connections "
+                     f"parked (capacity never filled)")
+    lines.append(f"Server CPU busy: {result.server_cpu_seconds:.2f} s "
+                 f"simulated")
+    if result.failures:
+        lines.append(f"Quarantined cohort units: "
+                     f"{len(result.failures)} (excluded from all "
+                     f"statistics above)")
+    return "\n".join(lines)
 
 
 def generate_experiments_report(*, runs: int = 5,

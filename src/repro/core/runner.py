@@ -37,7 +37,26 @@ from .scenarios import FIRST_TIME, REVALIDATE, prefill_cache
 
 __all__ = ["RunResult", "AveragedResult", "ExperimentError",
            "UnitFailure", "run_experiment", "run_repeated",
-           "warm_default_site", "reset_default_site"]
+           "warm_default_site", "reset_default_site", "nearest_rank"]
+
+
+def nearest_rank(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile: the smallest value with ≥ p% at or below.
+
+    The estimator every fleet tail statistic uses: always an observed
+    sample (no interpolation, so aggregates stay byte-reproducible
+    across jobs counts and resumes), NaN on an empty sample.  ``p`` is
+    in percent (50 → median, 99 → p99).
+    """
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = math.ceil(p / 100.0 * len(ordered))
+    if rank < 1:
+        rank = 1
+    elif rank > len(ordered):
+        rank = len(ordered)
+    return ordered[rank - 1]
 
 #: Default jitter: a small seeded variation standing in for the network
 #: fluctuations the paper averaged over five runs.
@@ -155,6 +174,17 @@ class AveragedResult:
         if not self.runs:
             return math.nan
         return statistics.fmean(getattr(r, attribute) for r in self.runs)
+
+    def percentile(self, p: float, attribute: str = "elapsed") -> float:
+        """Nearest-rank percentile of ``attribute`` over successful runs.
+
+        Quarantined units (:attr:`failures`) are skipped entirely — a
+        partially-quarantined cell reports the percentile of the runs
+        that *did* measure, deterministically, instead of poisoning the
+        tail with NaN.  An all-failed cell still reads NaN (loud, like
+        the means).
+        """
+        return nearest_rank([getattr(r, attribute) for r in self.runs], p)
 
     @property
     def packets(self) -> float:

@@ -1,0 +1,165 @@
+"""The ``python -m repro fleet`` verb.
+
+Wires a :class:`~repro.fleet.spec.FleetSpec` from command-line flags,
+builds the matrix machinery (jobs / cache / journal / supervisor), runs
+the population through :func:`~repro.fleet.runner.run_fleet` and prints
+the tail-latency / fairness / server-queueing report.
+
+The journal run id derives from the spec's canonical identity, so
+``--resume`` without an explicit run id continues the same population
+(machinery flags like ``--jobs`` never change the id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+
+from ..matrix import (DEFAULT_RETRY_BUDGET, CellEvent, MatrixRunner,
+                      ResultCache)
+from .runner import run_fleet
+from .spec import FleetSpec
+
+__all__ = ["add_fleet_parser"]
+
+
+def _print_progress(event: CellEvent) -> None:
+    if event.status == "hit":
+        tag = "cache"
+    elif event.status == "failed":
+        tag = f"FAIL attempt {event.attempt}"
+    elif event.status == "retried":
+        tag = f"retry attempt {event.attempt}"
+    else:
+        tag = f"{event.wall_time:5.2f}s"
+    print(f"  [{event.completed}/{event.total}] {event.label} "
+          f"seed={event.seed} ({tag})", file=sys.stderr)
+
+
+def _fleet_run_id(spec: FleetSpec) -> str:
+    blob = json.dumps(spec.canonical_dict(), sort_keys=True,
+                      separators=(",", ":"))
+    return f"fleet-{hashlib.sha256(blob.encode()).hexdigest()[:10]}"
+
+
+def _make_runner(args: argparse.Namespace,
+                 spec: FleetSpec) -> MatrixRunner:
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = (ResultCache(args.cache_dir) if args.cache_dir
+                 else ResultCache())
+    journal = None
+    if args.resume is not None or args.journal:
+        from ..matrix import RunJournal
+        journal = RunJournal(args.resume or _fleet_run_id(spec))
+        print(f"journal: {journal.run_id}", file=sys.stderr)
+    return MatrixRunner(
+        jobs=args.jobs, cache=cache,
+        progress=_print_progress if args.progress else None,
+        journal=journal, retry_budget=args.retry_budget,
+        unit_deadline=args.unit_deadline)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    spec = FleetSpec(
+        users=args.users, cohorts=args.cohorts,
+        environment=args.environment, scenario=args.scenario,
+        server=args.server, arrival_rate=args.arrival_rate,
+        think_time=args.think_time, pages_per_user=args.pages_per_user,
+        server_capacity=(None if args.server_capacity == 0
+                         else args.server_capacity),
+        backbone_bps=args.backbone_bps, epoch=args.epoch,
+        rounds=args.rounds, max_sim_time=args.max_sim_time,
+        fastpath=not args.no_fastpath, seed=args.seed)
+    runner = _make_runner(args, spec)
+    with runner:
+        result = run_fleet(spec, runner=runner)
+    from ..analysis.report import format_fleet_report
+    print(format_fleet_report(result))
+    print(runner.stats.summary(), file=sys.stderr)
+    if result.failures and not any(
+            cohort is not None for cohort in result.cohorts):
+        # Nothing simulated at all: loud failure, not an empty table.
+        return 1
+    return 0
+
+
+def add_fleet_parser(sub) -> None:
+    """Register the ``fleet`` subcommand on the CLI's subparsers."""
+    fleet = sub.add_parser(
+        "fleet",
+        help="population-scale runs: cohorts of robot sessions on a "
+             "shared bottleneck")
+    fleet.add_argument("--users", type=int, default=200, metavar="N",
+                       help="population size (default 200)")
+    fleet.add_argument("--cohorts", type=int, default=4, metavar="K",
+                       help="cohorts the population shards into; one "
+                            "simulator (= one matrix unit) per cohort "
+                            "per round (default 4)")
+    fleet.add_argument("--environment", default="WAN",
+                       choices=("LAN", "WAN", "PPP",
+                                "lan", "wan", "ppp"))
+    fleet.add_argument("--scenario",
+                       choices=("first-time", "revalidate"),
+                       default="first-time")
+    fleet.add_argument("--server", choices=("jigsaw", "apache"),
+                       default="apache")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--arrival-rate", type=float, default=2.0,
+                       metavar="R",
+                       help="Poisson arrivals per simulated second "
+                            "(default 2.0)")
+    fleet.add_argument("--think-time", type=float, default=5.0,
+                       metavar="S",
+                       help="mean exponential think-time between a "
+                            "user's pages (default 5.0 s)")
+    fleet.add_argument("--pages-per-user", type=int, default=2,
+                       metavar="N")
+    fleet.add_argument("--server-capacity", type=int, default=32,
+                       metavar="N",
+                       help="concurrent connections the server handles "
+                            "before parking accepts (0 = unbounded; "
+                            "default 32)")
+    fleet.add_argument("--backbone-bps", type=float, default=None,
+                       metavar="BPS",
+                       help="shared backbone capacity split across "
+                            "cohorts (default: the environment's link "
+                            "bandwidth)")
+    fleet.add_argument("--epoch", type=float, default=30.0,
+                       metavar="S",
+                       help="capacity-share epoch in simulated seconds "
+                            "(default 30)")
+    fleet.add_argument("--rounds", type=int, default=2, metavar="N",
+                       help="fixed-point share-exchange rounds "
+                            "(default 2; 1 = static equal split)")
+    fleet.add_argument("--max-sim-time", type=float, default=600.0,
+                       metavar="S")
+    fleet.add_argument("--no-fastpath", action="store_true",
+                       help="force per-segment execution (results are "
+                            "byte-identical either way)")
+    fleet.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes (0 = one per CPU)")
+    fleet.add_argument("--cache", action="store_true",
+                       help="reuse cached cohort results "
+                            "(.repro-cache/)")
+    fleet.add_argument("--cache-dir", default=None, metavar="PATH",
+                       help="cache directory (implies --cache)")
+    fleet.add_argument("--progress", action="store_true",
+                       help="print per-cohort progress to stderr")
+    fleet.add_argument("--retry-budget", type=int,
+                       default=DEFAULT_RETRY_BUDGET, metavar="N",
+                       help="re-dispatches allowed per failing cohort "
+                            f"(default {DEFAULT_RETRY_BUDGET})")
+    fleet.add_argument("--unit-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per cohort in a worker")
+    fleet.add_argument("--journal", action="store_true",
+                       help="record resolved cohorts into a crash-safe "
+                            "run journal (.repro-cache/runs/)")
+    fleet.add_argument("--resume", default=None, nargs="?",
+                       const="", metavar="RUN_ID",
+                       help="resume a journaled fleet run (no RUN_ID = "
+                            "the id derived from this spec)")
+    fleet.set_defaults(fn=_cmd_fleet)

@@ -1,0 +1,242 @@
+"""Cohort execution: one simulator hosts a whole slice of the fleet.
+
+:func:`run_cohort` is the fleet's work unit.  It builds one
+:class:`~repro.simnet.network.FleetNetwork` — N client stacks and one
+server stack on a shared bottleneck link whose per-epoch capacity
+schedule encodes the shares other cohorts claim — starts a single
+plain-HTTP :class:`~repro.server.base.SimHttpServer` with finite
+service capacity, and drives every user of the cohort through their
+compiled :class:`~repro.fleet.spec.UserPlan`: arrive, fetch a page,
+think, fetch the next.
+
+The result is a :class:`CohortResult`: per-session page-load times,
+per-epoch downlink demand (what the parent's fixed-point pass feeds
+on), and the server's queueing record.  A JSON codec is registered
+with the matrix cache at import, so cohort results ride the result
+cache and the run journal byte-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Tuple
+
+from ..client.robot import REVALIDATE
+from ..core.registry import (resolve_environment, resolve_mode,
+                             resolve_profile)
+from ..core.runner import _default_site_and_store
+from ..core.scenarios import prefill_cache
+from ..http.cache import MemoryCache
+from ..matrix.cache import register_result_codec
+from ..server.base import SimHttpServer
+from ..simnet.network import SERVER_HOST, FleetNetwork
+from ..simnet.tcp import TcpConfig
+from .spec import FleetUnitSpec, UserPlan
+
+__all__ = ["SessionStats", "CohortResult", "run_cohort"]
+
+#: The one plain-HTTP port every cohort member talks to.
+_FLEET_PORT = 80
+
+
+@dataclasses.dataclass(frozen=True)
+class SessionStats:
+    """One user's measured session."""
+
+    user: int
+    mode: str
+    arrival: float
+    #: Completed page-load times, in page order.
+    page_times: Tuple[float, ...]
+    pages_started: int
+    #: Pages that failed or never finished before the deadline.
+    errors: int
+
+    @property
+    def mean_page_time(self) -> float:
+        if not self.page_times:
+            return float("nan")
+        return sum(self.page_times) / len(self.page_times)
+
+
+@dataclasses.dataclass(frozen=True)
+class CohortResult:
+    """Everything one cohort simulation measured."""
+
+    cohort: int
+    users: int
+    sessions: Tuple[SessionStats, ...]
+    epoch: float
+    #: Server→clients wire bytes per capacity epoch (the downlink
+    #: demand signal the fixed-point share exchange consumes).
+    epoch_bytes_down: Tuple[float, ...]
+    #: Accept-backlog waits, one per connection that had to park.
+    queue_waits: Tuple[float, ...]
+    server_cpu_seconds: float
+    connections_accepted: int
+    requests_served: int
+    packets: int
+    sim_time: float
+    fastforward_spans: int
+
+    @property
+    def page_times(self) -> List[float]:
+        """Completed page-load times across the cohort, session order."""
+        return [elapsed for session in self.sessions
+                for elapsed in session.page_times]
+
+    @property
+    def errors(self) -> int:
+        return sum(session.errors for session in self.sessions)
+
+
+class _Session:
+    """One user's page-fetch loop inside the cohort simulator."""
+
+    __slots__ = ("sim", "stack", "plan", "fleet", "site", "store",
+                 "page_times", "pages_started", "errors", "_robot")
+
+    def __init__(self, sim, stack, plan: UserPlan, fleet, site,
+                 store) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.plan = plan
+        self.fleet = fleet
+        self.site = site
+        self.store = store
+        self.page_times: List[float] = []
+        self.pages_started = 0
+        self.errors = 0
+        self._robot = None
+
+    def start(self) -> None:
+        self._fetch_page()
+
+    def _fetch_page(self) -> None:
+        self.pages_started += 1
+        mode = resolve_mode(self.plan.mode)
+        config = mode.client_config()
+        cache = MemoryCache()
+        if self.fleet.scenario == REVALIDATE:
+            profile = resolve_profile(self.fleet.server)
+            prefill_cache(cache, self.store, self.site, profile)
+        robot = mode.transport.create_client(
+            self.sim, self.stack, SERVER_HOST, _FLEET_PORT, config,
+            cache)
+        robot.on_complete = self._page_done
+        self._robot = robot
+        known = (self.site.all_urls()
+                 if self.fleet.scenario == REVALIDATE else None)
+        robot.fetch(self.site.html_url, self.fleet.scenario,
+                    known_urls=known)
+
+    def _page_done(self, result) -> None:
+        self._robot = None
+        if not result.complete:
+            # A failed page ends the session: real users give up.
+            self.errors += 1
+            return
+        self.page_times.append(result.elapsed)
+        if self.pages_started < self.fleet.pages_per_user:
+            think = self.plan.think_times[self.pages_started - 1]
+            self.sim.schedule(think, self._fetch_page)
+
+    def stats(self) -> SessionStats:
+        # Pages still in flight when the deadline hit never fired
+        # on_complete; they count as errors so totals reconcile.
+        unfinished = (self.pages_started - len(self.page_times)
+                      - self.errors)
+        return SessionStats(
+            user=self.plan.index, mode=self.plan.mode,
+            arrival=self.plan.arrival,
+            page_times=tuple(self.page_times),
+            pages_started=self.pages_started,
+            errors=self.errors + max(0, unfinished))
+
+
+def run_cohort(unit: FleetUnitSpec, seed: int) -> CohortResult:
+    """Simulate one cohort under its granted capacity shares."""
+    fleet = unit.fleet
+    environment = resolve_environment(fleet.environment)
+    profile = resolve_profile(fleet.server)
+    site, store = _default_site_and_store()
+    plans = fleet.cohort_plans(unit.cohort)
+    net = FleetNetwork(
+        environment, len(plans), seed=seed, jitter=fleet.jitter,
+        # Same Solaris 2.5 server stack as the single-robot runner.
+        server_config=TcpConfig(mss=environment.mss,
+                                delack_delay=0.050),
+        fastpath=fleet.fastpath,
+        capacity_epoch=fleet.epoch, capacity_shares=unit.shares)
+    server = SimHttpServer(net.sim, net.server, store, profile,
+                           port=_FLEET_PORT,
+                           max_concurrent=fleet.server_capacity)
+    sessions: List[_Session] = []
+    for slot, plan in enumerate(plans):
+        session = _Session(net.sim, net.clients[slot], plan, fleet,
+                           site, store)
+        sessions.append(session)
+        net.sim.schedule_at(plan.arrival, session.start)
+    # The deadline is *hard* (unlike the single-robot runner's drain):
+    # an overloaded population would otherwise run for unbounded
+    # simulated time.  Pages still in flight count as session errors.
+    net.run(until=fleet.max_sim_time)
+    n_epochs = len(unit.shares)
+    buckets = [0.0] * n_epochs
+    trace = net.trace
+    times, srcs, wires = trace._times, trace._srcs, trace._wire_sizes
+    epoch = fleet.epoch
+    for i in range(len(times)):
+        if srcs[i] == SERVER_HOST:
+            index = int(times[i] / epoch)
+            if index >= n_epochs:
+                index = n_epochs - 1
+            buckets[index] += wires[i]
+    return CohortResult(
+        cohort=unit.cohort,
+        users=len(plans),
+        sessions=tuple(session.stats() for session in sessions),
+        epoch=epoch,
+        epoch_bytes_down=tuple(buckets),
+        queue_waits=tuple(server.queue_waits),
+        server_cpu_seconds=server.cpu_busy_seconds,
+        connections_accepted=server.connections_accepted,
+        requests_served=server.requests_served,
+        packets=len(times),
+        sim_time=net.sim.now,
+        fastforward_spans=net.sim.perf.fastforward_spans)
+
+
+# ----------------------------------------------------------------------
+# Cache / journal codec
+# ----------------------------------------------------------------------
+
+def _cohort_to_payload(result: CohortResult) -> Dict[str, Any]:
+    payload = dataclasses.asdict(result)
+    payload["sessions"] = [dataclasses.asdict(session)
+                           for session in result.sessions]
+    return payload
+
+
+def _cohort_from_payload(payload: Dict[str, Any]) -> CohortResult:
+    sessions = tuple(
+        SessionStats(user=row["user"], mode=row["mode"],
+                     arrival=row["arrival"],
+                     page_times=tuple(row["page_times"]),
+                     pages_started=row["pages_started"],
+                     errors=row["errors"])
+        for row in payload["sessions"])
+    return CohortResult(
+        cohort=payload["cohort"], users=payload["users"],
+        sessions=sessions, epoch=payload["epoch"],
+        epoch_bytes_down=tuple(payload["epoch_bytes_down"]),
+        queue_waits=tuple(payload["queue_waits"]),
+        server_cpu_seconds=payload["server_cpu_seconds"],
+        connections_accepted=payload["connections_accepted"],
+        requests_served=payload["requests_served"],
+        packets=payload["packets"], sim_time=payload["sim_time"],
+        fastforward_spans=payload["fastforward_spans"])
+
+
+register_result_codec("fleet-cohort", CohortResult,
+                      _cohort_to_payload, _cohort_from_payload)

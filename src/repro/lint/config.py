@@ -118,5 +118,11 @@ DEFAULT_CONFIG = LintConfig(
         # write must raise, not silently create fresh state).
         "realnet/client.py",
         "realnet/server.py",
+        # The fleet engine's per-session state is allocated once per
+        # user and touched on every page completion; spec compilation
+        # and share aggregation run once per cohort unit.
+        "fleet/spec.py",
+        "fleet/engine.py",
+        "fleet/runner.py",
     ),
 )

@@ -85,6 +85,12 @@ class DeepConfig:
     #: Module-level constant in the spec's module naming the cache-key
     #: fields (exported by ``repro.matrix.spec`` for exactly this use).
     cache_key_const: str = "CACHE_KEY_FIELDS"
+    #: Additional (spec class, key constant) pairs whose field-level
+    #: completeness/staleness is checked the same way.  Subsystems with
+    #: their own cacheable unit specs register here; the
+    #: parameter-level pass stays tied to :attr:`run_function`.
+    extra_spec_classes: Tuple[Tuple[str, str], ...] = (
+        ("FleetSpec", "FLEET_CACHE_KEY_FIELDS"),)
     #: The function whose keyword surface is the experiment's identity.
     run_function: str = "run_experiment"
     #: The worker-side function forwarding spec fields into
@@ -317,23 +323,28 @@ def _run_affecting_params(run: FunctionInfo,
     return affecting
 
 
-def _cache_key_pass(graph: ProjectGraph,
-                    config: DeepConfig) -> List[Finding]:
-    findings: List[Finding] = []
-    spec_cls = graph.find_class(config.spec_class)
+def _spec_fields_pass(graph: ProjectGraph, spec_class: str,
+                      cache_key_const: str,
+                      waivers: Mapping[str, str],
+                      findings: List[Finding]) -> Optional[Set[str]]:
+    """Field completeness + staleness for one spec/key-const pair.
+
+    Returns the declared key-field names (for callers that run further
+    passes against them), or None when the class or constant is absent.
+    """
+    spec_cls = graph.find_class(spec_class)
     if spec_cls is None:
-        return findings
+        return None
     spec_module = graph.modules[spec_cls.module]
-    declared = _literal_string_tuple(spec_module.tree,
-                                     config.cache_key_const)
+    declared = _literal_string_tuple(spec_module.tree, cache_key_const)
     if declared is None:
         _finding(graph, spec_cls.module, spec_cls.node,
                  "cache-key-missing",
-                 f"spec module defines no {config.cache_key_const}; "
+                 f"spec module defines no {cache_key_const}; "
                  "the analyzer cannot verify cache-key completeness",
-                 f"export {config.cache_key_const} as a literal tuple "
+                 f"export {cache_key_const} as a literal tuple "
                  "of the canonical cache-key field names", findings)
-        return findings
+        return None
     key_fields = {name for name, _ in declared}
 
     # Field-level completeness: every spec field keyed or waived.
@@ -343,13 +354,13 @@ def _cache_key_pass(graph: ProjectGraph,
             continue
         field = stmt.target.id
         if field == "__slots__" or field in key_fields \
-                or field in config.spec_field_waivers:
+                or field in waivers:
             continue
         _finding(graph, spec_cls.module, stmt, "cache-key-missing",
                  f"spec field '{field}' is not in "
-                 f"{config.cache_key_const}: two specs differing only "
+                 f"{cache_key_const}: two specs differing only "
                  f"in '{field}' would collide in the result cache",
-                 f"add '{field}' to {config.cache_key_const} (and "
+                 f"add '{field}' to {cache_key_const} (and "
                  "canonical_dict), or waive it in the deep config with "
                  "a reason", findings)
 
@@ -358,10 +369,27 @@ def _cache_key_pass(graph: ProjectGraph,
     for name, node in declared:
         if name not in spec_fields:
             _finding(graph, spec_cls.module, node, "cache-key-stale",
-                     f"{config.cache_key_const} names '{name}', which "
-                     f"is not a field of {config.spec_class}",
+                     f"{cache_key_const} names '{name}', which "
+                     f"is not a field of {spec_class}",
                      "remove the stale entry (renamed or deleted "
                      "field?)", findings)
+    return key_fields
+
+
+def _cache_key_pass(graph: ProjectGraph,
+                    config: DeepConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    # Secondary spec classes (fleet populations, future subsystems) get
+    # the field-level checks; the parameter-level pass below is tied to
+    # run_experiment's surface and stays primary-only.
+    for spec_class, cache_key_const in config.extra_spec_classes:
+        _spec_fields_pass(graph, spec_class, cache_key_const, {},
+                          findings)
+    key_fields = _spec_fields_pass(graph, config.spec_class,
+                                   config.cache_key_const,
+                                   config.spec_field_waivers, findings)
+    if key_fields is None:
+        return findings
 
     # Parameter-level completeness: run-affecting run_experiment
     # parameters must arrive through a keyed spec field.

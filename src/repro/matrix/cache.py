@@ -29,7 +29,9 @@ from ..core.runner import RunResult
 from .spec import ExperimentSpec
 
 __all__ = ["DEFAULT_CACHE_DIR", "ResultCache", "unit_key",
-           "result_to_payload", "result_from_payload"]
+           "result_to_payload", "result_from_payload",
+           "register_result_codec", "encode_result", "decode_result",
+           "UnknownResultKind"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -83,6 +85,60 @@ def result_from_payload(payload: Dict[str, Any]) -> RunResult:
     return RunResult(statuses=statuses, fetch=None, trace=None, **fields)
 
 
+# ----------------------------------------------------------------------
+# Result codecs: non-RunResult unit results (fleet cohorts) ride the
+# same cache/journal machinery via a ``__kind__`` payload discriminator.
+# ----------------------------------------------------------------------
+
+class UnknownResultKind(Exception):
+    """A payload names a result codec this process has not registered.
+
+    Deliberately *not* a ValueError/KeyError subclass: the cache's
+    heal-on-read path unlinks entries that fail to parse, and an entry
+    written by a process that had the codec loaded is valid data, not
+    corruption — readers must treat it as a miss and leave it on disk.
+    """
+
+
+#: kind -> (result class, to_payload, from_payload).
+_RESULT_CODECS: Dict[str, Tuple[type, Any, Any]] = {}
+
+
+def register_result_codec(kind: str, cls: type, to_payload,
+                          from_payload) -> None:
+    """Register a serializer for a non-RunResult unit result type.
+
+    ``to_payload(result)`` must return a JSON-safe dict (the ``__kind__``
+    key is added here); ``from_payload(payload)`` must invert it.
+    Re-registering the same kind replaces the codec (idempotent import).
+    """
+    _RESULT_CODECS[kind] = (cls, to_payload, from_payload)
+
+
+def encode_result(result: Any) -> Dict[str, Any]:
+    """Serialize any registered result type (RunResult stays legacy-shaped)."""
+    if isinstance(result, RunResult):
+        return result_to_payload(result)
+    for kind, (cls, to_payload, _from_payload) in _RESULT_CODECS.items():
+        if isinstance(result, cls):
+            payload = to_payload(result)
+            payload["__kind__"] = kind
+            return payload
+    raise TypeError(f"no result codec registered for "
+                    f"{type(result).__name__}")
+
+
+def decode_result(payload: Dict[str, Any]) -> Any:
+    """Invert :func:`encode_result` via the ``__kind__`` discriminator."""
+    kind = payload.get("__kind__")
+    if kind is None:
+        return result_from_payload(payload)
+    entry = _RESULT_CODECS.get(kind)
+    if entry is None:
+        raise UnknownResultKind(kind)
+    return entry[2](payload)
+
+
 class ResultCache:
     """JSON result store keyed by stable spec + seed + version hashes."""
 
@@ -104,7 +160,7 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------
-    def get(self, spec: ExperimentSpec, seed: int) -> Optional[RunResult]:
+    def get(self, spec: ExperimentSpec, seed: int) -> Optional[Any]:
         """The cached result for the unit, or None on a miss.
 
         Unreadable or corrupt entries count as misses.  A corrupted or
@@ -116,8 +172,12 @@ class ResultCache:
         path = self.path(spec, seed)
         try:
             payload = json.loads(path.read_text())
-            return result_from_payload(payload["result"])
+            return decode_result(payload["result"])
         except OSError:
+            return None
+        except UnknownResultKind:
+            # Valid entry from a process with more codecs loaded: a
+            # miss, but not corruption — leave it on disk.
             return None
         except (ValueError, KeyError, TypeError):
             # The file exists but does not parse into a result: heal by
@@ -130,7 +190,7 @@ class ResultCache:
             return None
 
     def put(self, spec: ExperimentSpec, seed: int,
-            result: RunResult) -> None:
+            result: Any) -> None:
         """Store a unit's measurements atomically.
 
         Each write lands in a uniquely named temp file (pid + in-process
@@ -146,7 +206,7 @@ class ResultCache:
             "version": self.version,
             "seed": int(seed),
             "spec": spec.canonical_dict(),
-            "result": result_to_payload(result),
+            "result": encode_result(result),
         }
         tmp = path.with_suffix(
             f".tmp.{os.getpid()}.{next(_TMP_COUNTER)}")
@@ -154,7 +214,7 @@ class ResultCache:
         os.replace(tmp, path)
 
     def put_many(self, entries: Iterable[Tuple[ExperimentSpec, int,
-                                               RunResult]]) -> int:
+                                               Any]]) -> int:
         """Store a batch of units; returns how many were written.
 
         The batched flush the :class:`~repro.matrix.runner.MatrixRunner`

@@ -37,8 +37,8 @@ from typing import Any, Dict, Iterable, Optional, Union
 
 from .. import __version__
 from ..core.runner import RunResult, UnitFailure
-from .cache import (DEFAULT_CACHE_DIR, result_from_payload,
-                    result_to_payload, unit_key)
+from .cache import (DEFAULT_CACHE_DIR, UnknownResultKind, decode_result,
+                    encode_result, unit_key)
 from .spec import ExperimentSpec
 
 __all__ = ["DEFAULT_RUNS_DIR", "RunJournal"]
@@ -120,13 +120,13 @@ class RunJournal:
     # Records
     # ------------------------------------------------------------------
     def record_result(self, spec: ExperimentSpec, seed: int,
-                      result: RunResult) -> None:
+                      result: Any) -> None:
         """Record a completed unit's measurements (atomic, idempotent)."""
         self._record(unit_key(spec, seed, version=self.version), {
             "status": "ok",
             "label": spec.label,
             "seed": int(seed),
-            "result": result_to_payload(result),
+            "result": encode_result(result),
         })
 
     def record_failure(self, spec: ExperimentSpec, seed: int,
@@ -193,18 +193,19 @@ class RunJournal:
 
     @staticmethod
     def hydrate(record: Dict[str, Any]
-                ) -> Union[RunResult, UnitFailure, None]:
+                ) -> Union[RunResult, UnitFailure, Any]:
         """A journal record → the result (or failure) it preserves.
 
-        Returns None for records whose shape is unrecognized, which a
-        resuming run treats as "unit not journaled" and re-runs.
+        Returns None for records whose shape is unrecognized (including
+        result kinds whose codec is not loaded), which a resuming run
+        treats as "unit not journaled" and re-runs.
         """
         try:
             if record["status"] == "ok":
-                return result_from_payload(record["result"])
+                return decode_result(record["result"])
             if record["status"] == "failed":
                 return UnitFailure(**record["failure"])
-        except (KeyError, TypeError, ValueError):
+        except (KeyError, TypeError, ValueError, UnknownResultKind):
             return None
         return None
 

@@ -147,7 +147,7 @@ class MatrixStats:
                 f"{self.journal_hits} journal hits")
 
 
-def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[RunResult, float]:
+def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[object, float]:
     """Execute one (cell, seed) unit; returns (result, wall seconds).
 
     The worker process holds no simulation state from the parent:
@@ -157,7 +157,16 @@ def run_unit(spec: ExperimentSpec, seed: int) -> Tuple[RunResult, float]:
     measurement columns only (``fetch=None, trace=None``) — the same
     shape the cache hydrates — so serial, parallel and cached paths are
     interchangeable.
+
+    Specs that are not protocol cells (fleet cohort units) supply their
+    own ``execute_unit(seed)``; the runner, supervisor, cache and
+    journal treat their results opaquely via the registered codec.
     """
+    execute = getattr(spec, "execute_unit", None)
+    if execute is not None:
+        start = time.perf_counter()
+        result = execute(seed)
+        return result, time.perf_counter() - start
     start = time.perf_counter()
     result = run_experiment(
         spec.mode, spec.scenario,
@@ -417,7 +426,7 @@ class MatrixRunner:
                 self.cache.put_many(
                     (units[index][0], units[index][1], outcome)
                     for index, outcome, _ in batch
-                    if isinstance(outcome, RunResult))
+                    if not isinstance(outcome, UnitFailure))
             for index, outcome, wall in batch:
                 spec, seed = units[index]
                 slots[index] = outcome
@@ -445,7 +454,8 @@ class MatrixRunner:
         for spec in specs:
             cell = slots[cursor:cursor + spec.runs]
             cursor += spec.runs
-            runs = [r for r in cell if isinstance(r, RunResult)]
+            runs = [r for r in cell
+                    if r is not None and not isinstance(r, UnitFailure)]
             failures = [f for f in cell if isinstance(f, UnitFailure)]
             averaged.append(AveragedResult(runs, failures=failures))
         return averaged

@@ -55,6 +55,7 @@ from typing import Callable, Dict, List, Optional
 __all__ = ["PerfCounters", "BenchCell", "BENCH_SCHEMA_VERSION",
            "representative_cells", "run_benchmark",
            "run_matrix_benchmark", "run_fastpath_benchmark",
+           "run_fleet_benchmark",
            "check_bench_regression", "validate_bench_payload"]
 
 #: Bumped whenever the shape of ``BENCH_simnet.json`` changes.
@@ -68,6 +69,12 @@ _CELL_REQUIRED_KEYS = ("wall_time", "runs", "events_processed",
 _FASTPATH_REQUIRED_KEYS = ("wall_time", "wall_time_nofastpath",
                            "speedup_fastpath", "fastforward_spans",
                            "segments_synthesized", "bytes", "runs")
+
+#: Fields the optional ``fleet`` section must carry.
+_FLEET_REQUIRED_KEYS = ("users", "cohorts", "rounds", "environment",
+                        "jobs", "wall_time", "users_per_minute",
+                        "pages_completed", "errors", "p50", "p95",
+                        "p99", "fairness")
 
 #: Fields the optional ``matrix`` section must carry.
 _MATRIX_REQUIRED_KEYS = ("cells", "units", "jobs", "cold_wall_time",
@@ -195,7 +202,8 @@ def run_benchmark(output_path: str = "BENCH_simnet.json", *,
     if not isinstance(baseline, dict) or "cells" not in baseline:
         baseline = {
             "note": "first recorded run; baseline for future sessions",
-            "cells": {key: {"wall_time": entry["wall_time"]}
+            "cells": {key: {"wall_time": entry["wall_time"],
+                            "wall_time_mean": entry["wall_time_mean"]}
                       for key, entry in current_cells.items()},
         }
     else:
@@ -203,9 +211,13 @@ def run_benchmark(output_path: str = "BENCH_simnet.json", *,
         # suite) are re-baselined from this run so the regression gate
         # covers them next time; existing baseline entries stay
         # verbatim, anchoring the long-running speedup trajectory.
+        # Individual *fields* a baseline cell predates (wall_time_mean
+        # was only recorded per-cell from PR 10 on) are backfilled the
+        # same way, so every baseline cell carries the full schema.
         for key, entry in current_cells.items():
-            baseline["cells"].setdefault(
-                key, {"wall_time": entry["wall_time"]})
+            cell = baseline["cells"].setdefault(key, {})
+            cell.setdefault("wall_time", entry["wall_time"])
+            cell.setdefault("wall_time_mean", entry["wall_time_mean"])
     for key, entry in current_cells.items():
         base = baseline["cells"].get(key, {}).get("wall_time")
         if base and entry["wall_time"] > 0:
@@ -219,7 +231,7 @@ def run_benchmark(output_path: str = "BENCH_simnet.json", *,
     }
     # Sections owned by the other harnesses (``bench --matrix``,
     # ``bench --fastpath``) ride along verbatim.
-    for section in ("matrix", "fastpath"):
+    for section in ("matrix", "fastpath", "fleet"):
         if section in previous:
             payload[section] = previous[section]
     with open(output_path, "w") as fh:
@@ -430,6 +442,71 @@ def run_fastpath_benchmark(output_path: str = "BENCH_simnet.json", *,
     return payload
 
 
+def run_fleet_benchmark(output_path: str = "BENCH_simnet.json", *,
+                        users: int = 1000, cohorts: int = 16,
+                        jobs: Optional[int] = None,
+                        log: Callable[[str], None] = lambda line: print(
+                            line, file=sys.stderr)) -> Dict[str, object]:
+    """Time a population-scale WAN run; record under ``fleet``.
+
+    The workload is the fleet engine's headline configuration: a
+    1000-user population arriving at 10 users/s, sharded into cohorts
+    behind a 45 Mbit/s shared backbone, one page per user, one
+    fixed-point round — the ≥1000-users/minute claim the fleet
+    subsystem commits to.  Wall time covers the whole
+    :func:`~repro.fleet.runner.run_fleet` call (population
+    compilation, dispatch, aggregation), so ``users_per_minute`` is an
+    honest end-to-end throughput.  The section merges into
+    ``output_path``, preserving every other section verbatim.
+    """
+    from .fleet import FleetSpec, run_fleet
+    from .matrix import MatrixRunner
+    spec = FleetSpec(users=users, cohorts=min(cohorts, users),
+                     environment="WAN", arrival_rate=10.0,
+                     think_time=0.0, pages_per_user=1, rounds=1,
+                     max_sim_time=300.0, backbone_bps=45e6)
+    runner = MatrixRunner(jobs=jobs)
+    try:
+        start = time.perf_counter()
+        result = run_fleet(spec, runner=runner)
+        wall = time.perf_counter() - start
+    finally:
+        runner.close()
+    measured = {
+        "users": spec.users,
+        "cohorts": spec.cohorts,
+        "rounds": spec.rounds,
+        "environment": spec.environment,
+        "backbone_bps": spec.backbone_bps,
+        "jobs": runner.jobs,
+        "wall_time": wall,
+        "users_per_minute": round(spec.users / wall * 60.0, 1)
+        if wall > 0 else 0.0,
+        "pages_completed": len(result.page_times),
+        "errors": result.errors,
+        "p50": result.percentile(50),
+        "p95": result.percentile(95),
+        "p99": result.percentile(99),
+        "fairness": round(result.fairness_index, 4),
+        "queued_connections": len(result.queue_waits),
+    }
+    log(f"  fleet {spec.users} users x{spec.cohorts} cohorts "
+        f"(jobs={runner.jobs}): {wall:6.1f} s "
+        f"({measured['users_per_minute']:.0f} users/min, "
+        f"p99 {measured['p99']:.2f} s)")
+    try:
+        with open(output_path) as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        payload = {"schema": BENCH_SCHEMA_VERSION, "quick": False,
+                   "baseline": {"cells": {}}, "current": {"cells": {}}}
+    payload["fleet"] = measured
+    with open(output_path, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return payload
+
+
 def check_bench_regression(current_cells: Dict[str, Dict[str, object]],
                            reference_cells: Dict[str, Dict[str, object]],
                            *, threshold: float = 0.25) -> List[str]:
@@ -506,6 +583,23 @@ def validate_bench_payload(payload: Dict[str, object]) -> List[str]:
                     problems.append(
                         f"fastpath cell {key!r} never engaged the fast "
                         f"path")
+    fleet = payload.get("fleet")
+    if fleet is not None:
+        if not isinstance(fleet, dict):
+            problems.append("fleet section must be an object")
+        else:
+            for field in _FLEET_REQUIRED_KEYS:
+                if field not in fleet:
+                    problems.append(f"fleet missing {field!r}")
+            for field in ("wall_time", "users_per_minute"):
+                value = fleet.get(field)
+                if field in fleet and (
+                        not isinstance(value, (int, float))
+                        or value <= 0):
+                    problems.append(f"fleet {field} not positive")
+            pages = fleet.get("pages_completed")
+            if isinstance(pages, int) and pages <= 0:
+                problems.append("fleet completed zero pages")
     matrix = payload.get("matrix")
     if matrix is not None:
         if not isinstance(matrix, dict):

@@ -22,7 +22,8 @@ Implements the server-side lessons of the paper:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set
+from collections import deque
+from typing import Callable, Dict, List, Optional, Set
 
 from ..client.pipeline import FlowWindow
 from ..http import (HTTP10, HTTP11, Headers, ParseError, Request,
@@ -55,6 +56,14 @@ class _ServerConnection:
         self.responses_sent = 0
         self.eof_received = False
         self.closed = False
+        #: Fired once when the connection reaches a terminal state; the
+        #: server's finite-capacity accept gate uses it to free a slot.
+        self.on_closed: Optional[Callable[[], None]] = None
+
+    def _release(self) -> None:
+        callback, self.on_closed = self.on_closed, None
+        if callback is not None:
+            callback()
 
     # ------------------------------------------------------------------
     def on_data(self, _conn: TcpConnection, data: bytes) -> None:
@@ -77,6 +86,7 @@ class _ServerConnection:
 
     def on_reset(self, _conn: TcpConnection) -> None:
         self.closed = True
+        self._release()
 
     # ------------------------------------------------------------------
     def queue_bytes(self, payload: bytes) -> None:
@@ -112,6 +122,7 @@ class _ServerConnection:
         if not self.server.profile.half_close \
                 and self.conn.state != "CLOSED":
             self.conn.shutdown_receive()
+        self._release()
 
 
 class _MuxServerStream:
@@ -157,6 +168,14 @@ class _MuxServerConnection:
         #: Stop accepting new streams (request limit reached); finish
         #: once the queue drains.
         self.closing = False
+        #: Fired once when the connection reaches a terminal state (see
+        #: :class:`_ServerConnection`).
+        self.on_closed: Optional[Callable[[], None]] = None
+
+    def _release(self) -> None:
+        callback, self.on_closed = self.on_closed, None
+        if callback is not None:
+            callback()
 
     # ------------------------------------------------------------------
     def on_data(self, _conn: TcpConnection, data: bytes) -> None:
@@ -168,6 +187,7 @@ class _MuxServerConnection:
             self.closed = True
             if self.conn.state != "CLOSED":
                 self.conn.abort()
+            self._release()
             return
         for frame in frames:
             self._on_frame(frame)
@@ -199,6 +219,7 @@ class _MuxServerConnection:
             self.closed = True
             if self.conn.state != "CLOSED":
                 self.conn.abort()
+            self._release()
             return
         self.requests_seen += 1
         self.responses_queued += 1
@@ -218,6 +239,7 @@ class _MuxServerConnection:
 
     def on_reset(self, _conn: TcpConnection) -> None:
         self.closed = True
+        self._release()
 
     # ------------------------------------------------------------------
     def start_stream(self, sid: int, head: bytes, body: bytes) -> None:
@@ -301,6 +323,35 @@ class _MuxServerConnection:
         if not self.server.profile.half_close \
                 and self.conn.state != "CLOSED":
             self.conn.shutdown_receive()
+        self._release()
+
+
+class _ParkedConnection:
+    """A connection accepted by TCP but waiting for a server slot.
+
+    While parked, the client's bytes (and any EOF/RST) are buffered
+    here; activation replays them into a real per-connection state in
+    arrival order, so the served dialogue is indistinguishable from one
+    that was merely delayed in the listen queue.
+    """
+
+    __slots__ = ("conn", "arrived_at", "buffered", "eof", "reset")
+
+    def __init__(self, conn: TcpConnection, now: float) -> None:
+        self.conn = conn
+        self.arrived_at = now
+        self.buffered = bytearray()
+        self.eof = False
+        self.reset = False
+
+    def on_data(self, _conn: TcpConnection, data: bytes) -> None:
+        self.buffered.extend(data)
+
+    def on_eof(self, _conn: TcpConnection) -> None:
+        self.eof = True
+
+    def on_reset(self, _conn: TcpConnection) -> None:
+        self.reset = True
 
 
 class SimHttpServer:
@@ -319,12 +370,19 @@ class SimHttpServer:
     mux, push:
         Speak the MUX framing protocol on accepted connections; with
         ``push``, speculatively push inline images after an HTML GET.
+    max_concurrent:
+        Finite service capacity: at most this many connections are
+        handled at once; excess accepted connections park in a FIFO
+        backlog (their bytes buffered) until a handled connection
+        reaches a terminal state.  ``None`` (the default) is the
+        paper's unbounded single-robot regime and changes nothing.
     """
 
     def __init__(self, sim: Simulator, stack: TcpStack,
                  store: ResourceStore, profile: ServerProfile,
                  port: int = 80, mux: bool = False,
-                 push: bool = False) -> None:
+                 push: bool = False,
+                 max_concurrent: Optional[int] = None) -> None:
         self.sim = sim
         self.stack = stack
         self.store = store
@@ -332,6 +390,14 @@ class SimHttpServer:
         self.port = port
         self.mux = mux
         self.push = push
+        #: Finite accept/service capacity (None = unbounded).  May be
+        #: assigned after construction but before the first accept.
+        self.max_concurrent = max_concurrent
+        self._active_connections = 0
+        self._accept_backlog: "deque[_ParkedConnection]" = deque()
+        #: Seconds each parked connection waited for a slot, in
+        #: activation order (empty when capacity is unbounded).
+        self.queue_waits: List[float] = []
         self._cpu_free_at = 0.0
         #: Optional hook observing every MUX frame the server emits:
         #: ``tap(now, "s>c", frame_type, stream_id, payload)`` (set by
@@ -366,10 +432,25 @@ class SimHttpServer:
     # ------------------------------------------------------------------
     def _accept(self, conn: TcpConnection) -> None:
         self.connections_accepted += 1
+        if self.max_concurrent is not None \
+                and self._active_connections >= self.max_concurrent:
+            parked = _ParkedConnection(conn, self.sim.now)
+            conn.on_data = parked.on_data
+            conn.on_eof = parked.on_eof
+            conn.on_reset = parked.on_reset
+            self._accept_backlog.append(parked)
+            return
+        self._activate(conn)
+
+    def _activate(self, conn: TcpConnection,
+                  parked: Optional[_ParkedConnection] = None) -> None:
         if self.mux:
             state = _MuxServerConnection(self, conn, self.push)
         else:
             state = _ServerConnection(self, conn)
+        if self.max_concurrent is not None:
+            self._active_connections += 1
+            state.on_closed = self._connection_closed
         conn.set_nodelay(self.profile.nodelay)
         conn.on_data = state.on_data
         conn.on_eof = state.on_eof
@@ -378,6 +459,24 @@ class SimHttpServer:
         self._cpu_free_at = max(self.sim.now, self._cpu_free_at) \
             + self.profile.per_connection_cpu
         self.cpu_busy_seconds += self.profile.per_connection_cpu
+        if parked is not None:
+            self.queue_waits.append(self.sim.now - parked.arrived_at)
+            if parked.buffered:
+                state.on_data(conn, bytes(parked.buffered))
+            if parked.eof:
+                state.on_eof(conn)
+            if parked.reset:
+                state.on_reset(conn)
+
+    def _connection_closed(self) -> None:
+        self._active_connections -= 1
+        while self._accept_backlog \
+                and self._active_connections < self.max_concurrent:
+            parked = self._accept_backlog.popleft()
+            if parked.reset or parked.conn.state == "CLOSED":
+                # The client gave up while waiting; no slot consumed.
+                continue
+            self._activate(parked.conn, parked)
 
     def _note(self, kind: str, detail: str = "") -> None:
         if self.recovery is not None:
@@ -442,6 +541,9 @@ class SimHttpServer:
                     state.conn.send(partial)
                 state.closed = True
                 state.conn.abort()
+                # A local abort never sees on_reset (that is the peer's
+                # event), so free the accept-gate slot here.
+                state._release()
                 return
             state.responses_queued -= 1
             state.responses_sent += 1
@@ -525,6 +627,8 @@ class SimHttpServer:
                     state.conn.send(partial)
                 state.closed = True
                 state.conn.abort()
+                # Same slot-release rule as the plain-HTTP abort path.
+                state._release()
                 return
             if push:
                 self.pushes_sent += 1

@@ -258,6 +258,14 @@ class FastForward:
         data_entries.sort(key=lambda e: (e[0], e[1]))
         ack_entries.sort(key=lambda e: (e[0], e[1]))
 
+        # A stepwise capacity schedule (fleet bottleneck shares) keeps
+        # the rate constant within an epoch; the span must not cross the
+        # next boundary, so the single cached rate below stays exact.
+        if link._capacity_shares is not None:
+            boundary = link.next_capacity_change(sim.now)
+            if boundary < horizon:
+                horizon = boundary
+
         # ---- Validate the in-flight picture against the steady state.
         rwnd_c = c._advertised_window()    # == what C's pure ACKs carry
         s_rcv = s.rcv_nxt
@@ -319,13 +327,13 @@ class FastForward:
         period = c.config.delack_delay
         heartbeat = c.config.delack_heartbeat
 
-        dir_d = (s.local_host, c.local_host)
-        dir_a = (c.local_host, s.local_host)
-        comp_d = link._compressors.get(dir_d)
-        comp_a = link._compressors.get(dir_a)
+        comp_d = link._compressors.get((s.local_host, c.local_host))
+        comp_a = link._compressors.get((c.local_host, s.local_host))
+        dir_d = link.direction_key(s.local_host, c.local_host)
+        dir_a = link.direction_key(c.local_host, s.local_host)
         nf = link._next_free
         bpb = link.bits_per_byte
-        bw = link.bandwidth_bps
+        bw = link.bandwidth_at(sim.now)
         prop = link.propagation_delay
         jit = link.jitter
         uniform = link.rng.uniform

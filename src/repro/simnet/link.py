@@ -33,6 +33,14 @@ from .packet import Segment
 __all__ = ["WireCompressor", "Link", "NetworkEnvironment", "ENVIRONMENTS",
            "LAN", "WAN", "PPP"]
 
+#: Shared serialization-queue keys used when :attr:`Link.bottleneck_host`
+#: is set.  Traffic *from* the bottleneck host (the server's downlink)
+#: shares one FIFO queue; traffic *toward* it shares the other.  The
+#: sentinel host name cannot collide with a real attached host because
+#: the tuples carry a direction marker no (src, dst) pair produces.
+_SHARED_DOWN: Tuple[str, str] = ("<bottleneck>", "down")
+_SHARED_UP: Tuple[str, str] = ("<bottleneck>", "up")
+
 
 class WireCompressor(Protocol):
     """Compresses the byte stream of one link direction (modem-style).
@@ -116,6 +124,17 @@ class Link:
         #: model has run, so it can drop, corrupt, duplicate or delay
         #: the segment.  ``None`` (the default) is the zero-cost path.
         self.fault_injector = None
+        #: When set to an attached host name, every direction *from*
+        #: that host shares one serialization queue and every direction
+        #: *toward* it shares the other: N clients behind one bottleneck
+        #: contend FIFO for the same line instead of each getting a
+        #: private full-rate pipe.  ``None`` (the default) keeps the
+        #: point-to-point per-(src, dst) queues of the two-host model.
+        self.bottleneck_host: Optional[str] = None
+        # Per-epoch capacity schedule (the fleet engine's fixed-point
+        # shares).  None is the zero-cost constant-bandwidth path.
+        self._capacity_epoch = 0.0
+        self._capacity_shares: Optional[Tuple[float, ...]] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -131,6 +150,57 @@ class Link:
         """Install a modem-style stream compressor on the ``src → dst`` direction."""
         self._compressors[(src, dst)] = compressor
 
+    def direction_key(self, src: str, dst: str) -> Tuple[str, str]:
+        """Serialization-queue key for the ``src → dst`` direction.
+
+        Point-to-point links key by the exact ``(src, dst)`` pair.  With
+        :attr:`bottleneck_host` set, all flows collapse onto two shared
+        queues (down = away from the bottleneck host, up = toward it), so
+        concurrent clients serialize FIFO behind each other.  Compressor
+        lookups keep the raw pair: each client's modem owns its own
+        dictionary.
+        """
+        bottleneck = self.bottleneck_host
+        if bottleneck is None:
+            return (src, dst)
+        return _SHARED_DOWN if src == bottleneck else _SHARED_UP
+
+    def set_capacity_schedule(self, epoch: float,
+                              shares: "Tuple[float, ...]") -> None:
+        """Install a stepwise bandwidth schedule (fleet capacity shares).
+
+        ``shares[i]`` is the line rate in bits/second during simulated
+        time ``[i*epoch, (i+1)*epoch)``; the last entry extends forever.
+        The rate in effect is sampled at *transmit initiation* time
+        (``sim.now``), never mid-serialization, which keeps the model
+        simple and lets the fast-forward driver cache one rate per span.
+        """
+        if epoch <= 0:
+            raise ValueError("capacity epoch must be positive")
+        shares = tuple(float(s) for s in shares)
+        if not shares or any(s <= 0 for s in shares):
+            raise ValueError("capacity shares must be positive")
+        self._capacity_epoch = float(epoch)
+        self._capacity_shares = shares
+
+    def bandwidth_at(self, t: float) -> float:
+        """Line rate in effect for a transmission initiated at time ``t``."""
+        shares = self._capacity_shares
+        if shares is None:
+            return self.bandwidth_bps
+        index = int(t / self._capacity_epoch)
+        return shares[index] if index < len(shares) else shares[-1]
+
+    def next_capacity_change(self, t: float) -> float:
+        """First epoch boundary after ``t`` where the rate may step."""
+        shares = self._capacity_shares
+        if shares is None:
+            return float("inf")
+        index = int(t / self._capacity_epoch) + 1
+        if index >= len(shares):
+            return float("inf")
+        return index * self._capacity_epoch
+
     # ------------------------------------------------------------------
     # Transmission
     # ------------------------------------------------------------------
@@ -144,14 +214,16 @@ class Link:
             raise ValueError(f"no host {segment.dst!r} attached to link")
         for tap in self.taps:
             tap(segment, self.sim.now)
-        direction = (segment.src, segment.dst)
-        compressor = self._compressors.get(direction)
+        direction = self.direction_key(segment.src, segment.dst)
+        compressor = self._compressors.get((segment.src, segment.dst))
         if compressor is not None:
             from .packet import HEADER_BYTES
             wire_bytes = HEADER_BYTES + compressor.wire_bytes(segment.payload)
         else:
             wire_bytes = segment.wire_size
-        tx_time = wire_bytes * self.bits_per_byte / self.bandwidth_bps
+        bandwidth = (self.bandwidth_bps if self._capacity_shares is None
+                     else self.bandwidth_at(self.sim.now))
+        tx_time = wire_bytes * self.bits_per_byte / bandwidth
         if self.jitter:
             tx_time *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
         if self.queue_limit_packets is not None:

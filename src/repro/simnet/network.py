@@ -23,13 +23,18 @@ from .modem import ModemCompressor
 from .tcp import TcpConfig, TcpStack
 from .trace import TraceCollector
 
-__all__ = ["TwoHostNetwork", "ChainNetwork", "CLIENT_HOST", "SERVER_HOST",
-           "PROXY_HOST"]
+__all__ = ["TwoHostNetwork", "ChainNetwork", "FleetNetwork", "CLIENT_HOST",
+           "SERVER_HOST", "PROXY_HOST", "fleet_client_host"]
 
 #: Host names used throughout experiments (after the paper's machines).
 CLIENT_HOST = "zorch.w3.org"
 SERVER_HOST = "www26.w3.org"
 PROXY_HOST = "proxy.w3.org"
+
+
+def fleet_client_host(index: int) -> str:
+    """Deterministic host name for the ``index``-th fleet client."""
+    return f"client{index:04d}.w3.org"
 
 
 class TwoHostNetwork:
@@ -95,6 +100,74 @@ class TwoHostNetwork:
                                      self.modem_up)
             self.link.set_compressor(SERVER_HOST, CLIENT_HOST,
                                      self.modem_down)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the simulation until quiescent (or until ``until``)."""
+        self.sim.run(until=until)
+
+
+class FleetNetwork:
+    """N clients and one server sharing a single bottleneck link.
+
+    The population-scale generalization of :class:`TwoHostNetwork`: one
+    :class:`~repro.simnet.engine.Simulator` hosts a whole cohort of
+    client stacks plus one server stack, all attached to one
+    :class:`~repro.simnet.link.Link` whose ``bottleneck_host`` is the
+    server — every client's download serializes FIFO through the shared
+    downlink, every upload through the shared uplink, exactly the
+    contention regime the follow-on mobile-population studies measure.
+
+    An optional per-epoch capacity schedule (``capacity_epoch`` +
+    ``capacity_shares``) steps the link rate over simulated time; the
+    fleet engine uses it to impose the fixed-point bottleneck shares
+    other cohorts claim.  The fast-forward driver stays wired: spans
+    stay eligible on non-contended stretches and fall back at the first
+    foreign event or epoch boundary.
+    """
+
+    def __init__(self, environment: NetworkEnvironment, n_clients: int, *,
+                 seed: int = 0, jitter: float = 0.0,
+                 client_config: Optional[TcpConfig] = None,
+                 server_config: Optional[TcpConfig] = None,
+                 modem_compression: Optional[bool] = None,
+                 fastpath: bool = True,
+                 capacity_epoch: Optional[float] = None,
+                 capacity_shares=None) -> None:
+        if n_clients <= 0:
+            raise ValueError("a fleet needs at least one client")
+        self.environment = environment
+        self.sim = Simulator()
+        self.rng = random.Random(seed)
+        self.link = environment.make_link(self.sim, jitter=jitter,
+                                          rng=self.rng)
+        self.link.bottleneck_host = SERVER_HOST
+        if capacity_shares is not None:
+            self.link.set_capacity_schedule(capacity_epoch, capacity_shares)
+        mss_config = client_config or TcpConfig(mss=environment.mss)
+        self.server = TcpStack(self.sim, SERVER_HOST, self.link,
+                               server_config or TcpConfig(
+                                   mss=environment.mss))
+        self.clients = [TcpStack(self.sim, fleet_client_host(i), self.link,
+                                 mss_config)
+                        for i in range(n_clients)]
+        self.trace = TraceCollector(self.link, SERVER_HOST)
+        self.fastforward: Optional[FastForward] = None
+        if fastpath and self.server.config.fastpath \
+                and mss_config.fastpath:
+            self.fastforward = FastForward(
+                self.sim, self.link,
+                (self.server, *self.clients), self.trace)
+        use_modem = (environment.modem_compression
+                     if modem_compression is None else modem_compression)
+        if use_modem:
+            # Each user dials in through their own modem pair, so each
+            # (client, server) direction owns a private V.42bis
+            # dictionary — one client's traffic must not train another's.
+            for stack in self.clients:
+                self.link.set_compressor(stack.host, SERVER_HOST,
+                                         ModemCompressor())
+                self.link.set_compressor(SERVER_HOST, stack.host,
+                                         ModemCompressor())
 
     def run(self, until: Optional[float] = None) -> None:
         """Run the simulation until quiescent (or until ``until``)."""
